@@ -1,0 +1,53 @@
+"""Shared configuration for the figure/table reproduction benchmarks.
+
+Each benchmark module regenerates one artefact of the paper's evaluation
+section, prints the regenerated rows/series, and asserts the qualitative
+shape the paper reports.  ``REPRO_BENCH_SCALE=full`` switches to the paper's
+iteration counts (10 iterations per configuration, 30 for the adaptive runs);
+the default "small" scale uses fewer iterations so the whole suite completes
+in a few minutes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentScenario, bench_scale, cached_scenario
+
+
+@pytest.fixture(scope="session")
+def scale_params():
+    """Iteration counts for the selected benchmark scale."""
+    if bench_scale() == "full":
+        return {
+            "sweep_iterations": 10,
+            "adaptation_iterations": 30,
+            "fast_metric_only": False,
+        }
+    return {
+        "sweep_iterations": 3,
+        "adaptation_iterations": 12,
+        "fast_metric_only": True,
+    }
+
+
+@pytest.fixture(scope="session")
+def scenario_64() -> ExperimentScenario:
+    """The paper's 64-core configuration (laptop-scale data, calibrated model)."""
+    return cached_scenario(64, 10)
+
+
+@pytest.fixture(scope="session")
+def scenario_400() -> ExperimentScenario:
+    """The paper's 400-core configuration (laptop-scale data, calibrated model)."""
+    return cached_scenario(400, 10)
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run a driver exactly once under pytest-benchmark timing."""
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,52 @@
+"""Benchmark: Figure 10 — dynamic adaptation without load redistribution."""
+
+from __future__ import annotations
+
+from repro.experiments.fig10_adaptation import (
+    PAPER_FIG10_TARGETS,
+    format_fig10,
+    run_adaptation,
+)
+
+
+def test_fig10_adaptation_64(run_once, scenario_64, scale_params):
+    result = run_once(
+        run_adaptation,
+        scenario_64,
+        targets=PAPER_FIG10_TARGETS[64],
+        niterations=scale_params["adaptation_iterations"],
+        redistribution="none",
+    )
+    print("\n" + format_fig10(result))
+
+    for target, trace in result.traces.items():
+        # After the first few iterations the run time settles near the target,
+        # within the rendering-time variability the paper also observes (its
+        # Figure 10 shows spikes to ~45 s against the 20 s target, i.e. a
+        # comparable relative deviation for the tightest budget).
+        assert trace.converged(warmup=5, tolerance=0.75), (
+            f"target {target}: settling error {trace.settling_error():.2f}"
+        )
+        # Tighter targets require reducing more blocks.
+    percents_by_target = {t: max(tr.percents) for t, tr in result.traces.items()}
+    assert percents_by_target[20.0] >= percents_by_target[120.0]
+
+
+def test_fig10_adaptation_400(run_once, scenario_400, scale_params):
+    result = run_once(
+        run_adaptation,
+        scenario_400,
+        targets=PAPER_FIG10_TARGETS[400],
+        niterations=scale_params["adaptation_iterations"],
+        redistribution="none",
+    )
+    print("\n" + format_fig10(result))
+
+    for target, trace in result.traces.items():
+        # The laptop-scale pipeline floor (~1.5 s of per-rank overhead) is a
+        # sizeable fraction of the 400-core targets (30/15/7 s), so the
+        # controller hovers around the tighter targets with more relative
+        # noise than at 64 cores; a looser tolerance captures convergence.
+        assert trace.converged(warmup=5, tolerance=1.0), (
+            f"target {target}: settling error {trace.settling_error():.2f}"
+        )

@@ -1,0 +1,43 @@
+"""Benchmark: Figure 11 — the full pipeline (reduction + redistribution) under adaptation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.fig10_adaptation import format_fig10
+from repro.experiments.fig11_full_pipeline import (
+    PAPER_FIG11_TARGETS,
+    run_full_pipeline_adaptation,
+)
+
+
+def test_fig11_full_pipeline_64(run_once, scenario_64, scale_params):
+    result = run_once(
+        run_full_pipeline_adaptation,
+        scenario_64,
+        targets=PAPER_FIG11_TARGETS[64],
+        niterations=scale_params["adaptation_iterations"],
+    )
+    print("\n" + format_fig10(result, label="Figure 11"))
+
+    assert result.redistribution == "round_robin"
+    for target, trace in result.traces.items():
+        tail = np.asarray(trace.times[5:])
+        # With redistribution the pipeline meets much tighter targets than
+        # Figure 10's: the tail of the run stays within ~2x of the budget.
+        assert np.median(tail) <= 2.0 * target
+        assert np.median(tail) >= 0.1 * target
+
+
+def test_fig11_full_pipeline_400(run_once, scenario_400, scale_params):
+    result = run_once(
+        run_full_pipeline_adaptation,
+        scenario_400,
+        targets=PAPER_FIG11_TARGETS[400],
+        niterations=scale_params["adaptation_iterations"],
+    )
+    print("\n" + format_fig10(result, label="Figure 11"))
+
+    for target, trace in result.traces.items():
+        tail = np.asarray(trace.times[5:])
+        assert np.median(tail) <= 2.5 * target

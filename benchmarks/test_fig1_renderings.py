@@ -1,0 +1,27 @@
+"""Benchmark: Figure 1 — original vs filtered renderings of the dBZ field."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.fig1_renderings import run_fig1
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def test_fig1_renderings(run_once, scenario_64):
+    result = run_once(run_fig1, scenario_64)
+    paths = result.save(OUTPUT_DIR)
+    print(
+        "\nFigure 1 — rendering cost: original %.1f s, all blocks reduced %.2f s"
+        % (result.render_seconds_original, result.render_seconds_filtered)
+    )
+    for name, path in paths.items():
+        print(f"  wrote {path}")
+
+    # Section II-C: reducing every block collapses the rendering cost (50 s -> 1 s
+    # at 400 cores in the paper); here we require at least a 20x collapse.
+    assert result.render_seconds_filtered < result.render_seconds_original / 20.0
+    # The filtered images still contain the storm.
+    assert result.volume_filtered.max() > 0.2
+    assert result.colormap_filtered.max() > 0.2

@@ -1,0 +1,21 @@
+"""Benchmark: Figure 3 — pairwise rank agreement between the scoring metrics."""
+
+from __future__ import annotations
+
+from repro.experiments.fig3_metric_agreement import format_fig3, run_fig3
+
+
+def test_fig3_metric_agreement(run_once, scenario_64):
+    result = run_once(run_fig3, scenario_64, max_blocks=384)
+    print("\n" + format_fig3(result))
+
+    assert len(result.comparisons) == 15  # C(6, 2) pairs, as in the paper's grid
+    # The quiet background blocks are ordered identically by every metric
+    # (the diagonal lower-left segment of the paper's scatter plots).
+    assert all(q >= 1 for q in result.quiet_prefix_size.values())
+    # Metrics broadly agree (positive correlation), but not perfectly: the
+    # paper's point is that they disagree on the ordering of the variable blocks.
+    var_trilin = result.pair("VAR", "TRILIN")
+    assert var_trilin.spearman > 0.5  # the paper notes TRILIN correlates well with VAR
+    assert any(c.spearman < 0.999 for c in result.comparisons)
+    assert all(c.spearman > 0.0 for c in result.comparisons)

@@ -1,0 +1,30 @@
+"""Benchmark: Figure 4 — scoremaps of the domain for each metric."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.fig4_scoremaps import format_fig4, run_fig4
+from repro.viz.framebuffer import Framebuffer
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def test_fig4_scoremaps(run_once, scenario_64):
+    result = run_once(run_fig4, scenario_64)
+    print("\n" + format_fig4(result))
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    Framebuffer.save_array_pgm(result.original_slice, OUTPUT_DIR / "fig4_original_dbz.pgm")
+    for name, smap in result.scoremaps.items():
+        Framebuffer.save_array_pgm(smap.image, OUTPUT_DIR / f"fig4_scoremap_{name.lower()}.pgm")
+
+    field = np.asarray(scenario_64.dataset.snapshot(0).get_field("dbz"))
+    storm_cols = field.max(axis=2) > 0.0
+    for name, smap in result.scoremaps.items():
+        norm = smap.normalised()
+        # Every metric scores the storm region above the quiet background.
+        assert norm[storm_cols].mean() > norm[~storm_cols].mean()
+        # The high-score area is a localized minority of the domain.
+        assert smap.high_score_fraction(0.9) < 0.5

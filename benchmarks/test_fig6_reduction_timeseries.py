@@ -1,0 +1,27 @@
+"""Benchmark: Figure 6 — per-iteration rendering time at fixed reduction percentages."""
+
+from __future__ import annotations
+
+from repro.experiments.fig6_7_reduction import format_fig6, run_reduction_sweep
+
+
+def test_fig6_reduction_timeseries(run_once, scenario_64, scale_params):
+    percentages = (0, 80, 90, 98, 100)  # the 64-core percentages plotted by the paper
+    result = run_once(
+        run_reduction_sweep,
+        scenario_64,
+        percentages=percentages,
+        niterations=scale_params["sweep_iterations"],
+    )
+    print("\n" + format_fig6(result))
+
+    # 0 percent is the slowest series, 100 percent the fastest, at every iteration.
+    niter = len(result.series[0.0])
+    for i in range(niter):
+        assert result.series[0.0][i] >= result.series[100.0][i]
+    # Reducing everything brings the rendering to the ~1 s overhead floor.
+    assert result.mean(100.0) < 3.0
+    # The storm evolves over the replayed iterations, so the uncontrolled
+    # rendering time varies from iteration to iteration (paper's observation).
+    if niter > 1:
+        assert result.maximum(0.0) > result.minimum(0.0)

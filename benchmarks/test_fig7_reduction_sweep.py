@@ -1,0 +1,30 @@
+"""Benchmark: Figure 7 — rendering time as a function of the reduction percentage."""
+
+from __future__ import annotations
+
+from repro.experiments.fig6_7_reduction import format_fig7, run_reduction_sweep
+
+
+def test_fig7_reduction_sweep(run_once, scenario_64, scale_params):
+    percentages = (0, 20, 40, 60, 80, 90, 94, 98, 100)
+    result = run_once(
+        run_reduction_sweep,
+        scenario_64,
+        percentages=percentages,
+        niterations=scale_params["sweep_iterations"],
+    )
+    print("\n" + format_fig7(result))
+
+    means = result.means()
+    # Rendering time decreases (weakly) with the percentage of reduced blocks.
+    assert means[0] == max(means)
+    assert means[-1] == min(means)
+    # Section II-C / E13: everything reduced collapses the cost to ~1 s.
+    assert result.mean(100.0) < 3.0
+    # The paper's key observation: the improvement is NOT proportional to the
+    # percentage — a majority of blocks must be reduced before the slowest
+    # process benefits, so the 0 -> 50 percent drop is small compared with the
+    # 50 -> 100 percent drop.
+    drop_first_half = result.mean(0.0) - result.mean(40.0)
+    drop_second_half = result.mean(80.0) - result.mean(100.0)
+    assert drop_second_half > drop_first_half

@@ -1,0 +1,29 @@
+"""Benchmark: Figure 8 — redistribution communication time vs reduction percentage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perfmodel.calibration import PAPER_BASELINES
+from repro.experiments.fig8_comm import format_fig8, run_comm_sweep
+
+
+def test_fig8_comm_time_64(run_once, scenario_64, scale_params):
+    result = run_once(
+        run_comm_sweep,
+        scenario_64,
+        percentages=(0, 20, 40, 60, 80, 100),
+        niterations=scale_params["sweep_iterations"],
+    )
+    print("\n" + format_fig8(result))
+
+    for strategy in ("round_robin", "shuffle"):
+        means = result.means(strategy)
+        # Communication time decreases as more blocks are reduced (less data moves).
+        assert means[0] > means[-1]
+        assert all(m >= 0.0 for m in means)
+    # E12: the full exchange costs on the order of the paper's ~1.2 s at 64 cores.
+    full_exchange = result.mean("shuffle", 0.0)
+    assert full_exchange == pytest.approx(PAPER_BASELINES["redistribution_comm"][64], rel=0.75)
+    # Round robin and random shuffle move comparable volumes.
+    assert result.mean("round_robin", 0.0) == pytest.approx(full_exchange, rel=0.5)

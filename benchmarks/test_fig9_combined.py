@@ -1,0 +1,29 @@
+"""Benchmark: Figure 9 — combined effect of reduction and load redistribution."""
+
+from __future__ import annotations
+
+from repro.experiments.fig9_combined import format_fig9, run_combined_sweep
+
+
+def test_fig9_combined_64(run_once, scenario_64, scale_params):
+    percentages = (0, 40, 80, 98, 100)
+    result = run_once(
+        run_combined_sweep,
+        scenario_64,
+        percentages=percentages,
+        niterations=scale_params["sweep_iterations"],
+        strategies=("none", "round_robin", "shuffle"),
+    )
+    print("\n" + format_fig9(result))
+
+    # Redistribution improves the rendering time at every percentage where
+    # there is real work left (i.e. away from the all-reduced floor).
+    for percent in (0.0, 40.0, 80.0):
+        assert result.mean("round_robin", percent) <= result.mean("none", percent) * 1.05
+        assert result.mean("shuffle", percent) <= result.mean("none", percent) * 1.05
+    # Round-robin and random shuffling are equivalent (the paper's conclusion
+    # that a score-guided redistribution adds nothing over statistical balance).
+    for percent in (0.0, 40.0, 80.0):
+        rr = result.mean("round_robin", percent)
+        sh = result.mean("shuffle", percent)
+        assert rr <= sh * 2.0 and sh <= rr * 2.0

@@ -1,0 +1,22 @@
+"""Benchmark: Table I — computation time required for different metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table1_metric_cost import format_table, run_table1
+
+
+def test_table1_metric_cost(run_once, scenario_64):
+    rows = run_once(run_table1, scenario_64, max_blocks=96)
+    print("\n" + format_table(rows))
+
+    by_name = {row.metric: row for row in rows}
+    # Modelled costs reproduce the paper's Table I values on both core counts.
+    for row in rows:
+        assert row.modelled_seconds_64 == pytest.approx(row.paper_seconds_64, rel=0.2)
+        assert row.modelled_seconds_400 == pytest.approx(row.paper_seconds_400, rel=0.2)
+    # The measured (laptop) costs keep the paper's ordering: VAR and LEA are the
+    # cheap metrics, TRILIN and ITL the expensive ones.
+    assert by_name["VAR"].measured_seconds <= by_name["ITL"].measured_seconds
+    assert by_name["LEA"].measured_seconds <= by_name["TRILIN"].measured_seconds

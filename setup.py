@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment used for this reproduction has no ``wheel`` package,
+so PEP 660 editable installs (which build a wheel) fail; keeping a classic
+``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

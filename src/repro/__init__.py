@@ -1,0 +1,87 @@
+"""repro — Adaptive Performance-Constrained In Situ Visualization (CLUSTER 2016).
+
+A from-scratch Python reproduction of Dorier et al., "Adaptive
+Performance-Constrained In Situ Visualization of Atmospheric Simulations"
+(IEEE CLUSTER 2016), including every substrate the paper depends on:
+
+* :mod:`repro.core` — the adaptive pipeline (score → sort → reduce →
+  redistribute → render → adapt, Algorithm 1);
+* :mod:`repro.cm1` — a synthetic CM1-like supercell simulation and its
+  reflectivity (dBZ) diagnostic;
+* :mod:`repro.simmpi` — a simulated MPI runtime with a latency/bandwidth cost
+  model;
+* :mod:`repro.metrics` — the block-scoring metrics (RANGE, VAR, ITL, LEA,
+  FPZIP, TRILIN, ...);
+* :mod:`repro.compress` — fpzip/zfp/lz-like floating-point coders;
+* :mod:`repro.viz` — marching cubes, a software rasterizer, and a
+  Catalyst-like co-processing API;
+* :mod:`repro.perfmodel` — the "Blue Waters seconds" cost model calibrated
+  against the paper's published numbers;
+* :mod:`repro.grid`, :mod:`repro.io` — domain decomposition and a BIL-like
+  dataset store;
+* :mod:`repro.experiments` — drivers regenerating every table and figure of
+  the paper's evaluation section.
+
+Quickstart
+----------
+
+>>> from repro import quickstart_pipeline
+>>> result = quickstart_pipeline(nranks=4, nsnapshots=2)
+>>> result.niterations
+2
+"""
+
+from repro.core import (
+    AdaptationConfig,
+    AdaptationController,
+    InSituPipeline,
+    PipelineConfig,
+    adapt_percent,
+)
+from repro.cm1 import CM1Config, CM1Dataset, CM1Simulation
+from repro.perfmodel import PlatformModel
+from repro.metrics import create_metric, default_registry
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptationConfig",
+    "AdaptationController",
+    "InSituPipeline",
+    "PipelineConfig",
+    "adapt_percent",
+    "CM1Config",
+    "CM1Dataset",
+    "CM1Simulation",
+    "PlatformModel",
+    "create_metric",
+    "default_registry",
+    "quickstart_pipeline",
+    "__version__",
+]
+
+
+def quickstart_pipeline(
+    nranks: int = 4,
+    nsnapshots: int = 2,
+    target_seconds: float = 20.0,
+    metric: str = "VAR",
+    redistribution: str = "round_robin",
+):
+    """Run a tiny end-to-end adaptive pipeline and return its run result.
+
+    This is the programmatic equivalent of ``examples/quickstart.py``: a small
+    synthetic storm, a handful of virtual ranks, and the full six-step
+    pipeline with adaptation enabled.
+    """
+    from repro.experiments.common import ExperimentScenario
+
+    scenario = ExperimentScenario.tiny(nranks=nranks, nsnapshots=nsnapshots)
+    pipeline = scenario.build_pipeline(
+        metric=metric,
+        redistribution=redistribution,
+        adaptation=AdaptationConfig(enabled=True, target_seconds=target_seconds),
+    )
+    for index in range(nsnapshots):
+        pipeline.process_iteration(scenario.blocks_for(index))
+    return pipeline.monitor.to_run_result(pipeline.config_summary())

@@ -1,0 +1,48 @@
+"""Synthetic CM1-like atmospheric model.
+
+The paper drives its pipeline with the CM1 cloud model (Bryan & Fritsch 2002)
+simulating a supercell thunderstorm, and in particular with CM1's simulated
+radar **reflectivity** (dBZ) field, whose 45 dBZ isosurface reveals the weak
+echo region associated with storm onset.
+
+Running the real CM1 (Fortran, petascale data) is out of scope here, so this
+package provides a synthetic but physically structured substitute:
+
+* a time-evolving **supercell storm** description (updraft core, mesocyclone
+  rotation, hook echo, anvil, storm motion) — :mod:`repro.cm1.storm`;
+* **microphysics** fields (rain / snow / graupel-hail mixing ratios) built
+  from the storm structure plus seeded turbulence — :mod:`repro.cm1.microphysics`;
+* the **reflectivity diagnostic** converting mixing ratios to dBZ in the
+  physical [-60, 80] range — :mod:`repro.cm1.reflectivity`;
+* a **wind field** (inflow + rotating updraft) — :mod:`repro.cm1.dynamics`;
+* a stepping :class:`~repro.cm1.simulation.CM1Simulation` and a replayable
+  :class:`~repro.cm1.dataset.CM1Dataset` standing in for the paper's stored
+  572-iteration Blue Waters dataset.
+
+What matters for the reproduction is preserved: the interesting region is a
+small, localised, turbulent fraction of a large mostly-quiet domain, its
+values span the full dBZ range, and it grows/moves over iterations.
+"""
+
+from repro.cm1.config import CM1Config, StormConfig
+from repro.cm1.storm import SupercellStorm
+from repro.cm1.state import ModelState
+from repro.cm1.microphysics import Microphysics
+from repro.cm1.reflectivity import reflectivity_dbz, DBZ_MIN, DBZ_MAX
+from repro.cm1.dynamics import WindField
+from repro.cm1.simulation import CM1Simulation
+from repro.cm1.dataset import CM1Dataset
+
+__all__ = [
+    "CM1Config",
+    "StormConfig",
+    "SupercellStorm",
+    "ModelState",
+    "Microphysics",
+    "reflectivity_dbz",
+    "DBZ_MIN",
+    "DBZ_MAX",
+    "WindField",
+    "CM1Simulation",
+    "CM1Dataset",
+]

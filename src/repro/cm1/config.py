@@ -1,0 +1,121 @@
+"""Configuration objects for the synthetic CM1 model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.utils.validation import ensure_in_range, ensure_positive
+
+
+@dataclass(frozen=True)
+class StormConfig:
+    """Parameters of the synthetic supercell.
+
+    All positions and radii are in *normalised domain units*: the horizontal
+    domain is [0, 1] × [0, 1], the vertical extent is [0, 1].  This keeps the
+    storm description independent of the grid resolution so the same storm
+    can be generated at the paper's 2200×2200×380 scale or at laptop scale.
+    """
+
+    #: Initial horizontal position of the storm core (normalised).
+    initial_center: Tuple[float, float] = (0.42, 0.5)
+    #: Horizontal storm motion per iteration (normalised units).
+    motion_per_iteration: Tuple[float, float] = (0.0012, 0.0004)
+    #: Initial horizontal radius of the precipitation core.
+    initial_radius: float = 0.085
+    #: Radius growth per iteration (the storm strengthens over time).
+    radius_growth_per_iteration: float = 0.0009
+    #: Maximum radius the storm saturates at.
+    max_radius: float = 0.22
+    #: Height (normalised) of the reflectivity maximum.
+    core_height: float = 0.35
+    #: Depth of the storm (vertical extent of significant reflectivity).
+    core_depth: float = 0.55
+    #: Strength of the mesocyclone rotation (controls the hook echo).
+    rotation_strength: float = 1.0
+    #: Normalised radius of the weak echo region (bounded weak echo vault).
+    weak_echo_radius: float = 0.25
+    #: Amplitude of the anvil (upper-level downwind spread), 0 disables it.
+    anvil_strength: float = 0.6
+    #: Turbulence intensity inside the storm (relative perturbation).
+    turbulence: float = 0.35
+    #: Correlation length of the turbulence, as a fraction of the core radius.
+    turbulence_scale: float = 0.3
+
+    def __post_init__(self) -> None:
+        ensure_in_range(self.initial_center[0], (0.0, 1.0), "initial_center[0]")
+        ensure_in_range(self.initial_center[1], (0.0, 1.0), "initial_center[1]")
+        ensure_positive(self.initial_radius, "initial_radius")
+        ensure_positive(self.max_radius, "max_radius")
+        ensure_in_range(self.core_height, (0.0, 1.0), "core_height")
+        ensure_positive(self.core_depth, "core_depth")
+        if self.radius_growth_per_iteration < 0:
+            raise ValueError("radius_growth_per_iteration must be >= 0")
+        ensure_in_range(self.turbulence, (0.0, 2.0), "turbulence")
+        ensure_positive(self.turbulence_scale, "turbulence_scale")
+
+
+@dataclass(frozen=True)
+class CM1Config:
+    """Configuration of a synthetic CM1 run.
+
+    Attributes
+    ----------
+    shape:
+        Grid points along x, y, z.  The paper's dataset is 2200×2200×380; the
+        default here is a laptop-scale 220×220×38 with the same aspect ratio.
+    horizontal_extent_km, vertical_extent_km:
+        Physical extents used to build the CM1-like stretched grid.
+    start_iteration:
+        Iteration number of the first produced snapshot (the paper's stored
+        dataset starts after ~5,000 simulation iterations).
+    iteration_stride:
+        Number of internal model iterations between two produced snapshots.
+    seed:
+        Base seed for all stochastic components (turbulence phases).
+    fields:
+        Names of the fields produced per snapshot.  ``"dbz"`` is always
+        produced; the others are optional extras used by multivariate scoring.
+    """
+
+    shape: Tuple[int, int, int] = (220, 220, 38)
+    horizontal_extent_km: float = 120.0
+    vertical_extent_km: float = 20.0
+    start_iteration: int = 5000
+    iteration_stride: int = 1
+    seed: int = 2016
+    storm: StormConfig = field(default_factory=StormConfig)
+    fields: Tuple[str, ...] = ("dbz",)
+
+    def __post_init__(self) -> None:
+        if len(self.shape) != 3 or any(int(s) < 4 for s in self.shape):
+            raise ValueError(f"shape must be 3 values >= 4, got {self.shape}")
+        ensure_positive(self.horizontal_extent_km, "horizontal_extent_km")
+        ensure_positive(self.vertical_extent_km, "vertical_extent_km")
+        if self.start_iteration < 0:
+            raise ValueError("start_iteration must be >= 0")
+        if self.iteration_stride < 1:
+            raise ValueError("iteration_stride must be >= 1")
+        if "dbz" not in self.fields:
+            object.__setattr__(self, "fields", ("dbz",) + tuple(self.fields))
+
+    @classmethod
+    def paper_scale(cls) -> "CM1Config":
+        """The paper's dataset dimensions (2200×2200×380).
+
+        Provided for documentation and for computing exact per-block sizes in
+        the cost model; actually materialising a field at this size needs
+        ~7.4 GB and is not done in tests.
+        """
+        return cls(shape=(2200, 2200, 380))
+
+    @classmethod
+    def laptop_scale(cls) -> "CM1Config":
+        """Default laptop-scale configuration (1/10 resolution per axis)."""
+        return cls(shape=(220, 220, 38))
+
+    @classmethod
+    def tiny(cls, seed: int = 2016) -> "CM1Config":
+        """A very small configuration for unit tests (fast to generate)."""
+        return cls(shape=(44, 44, 12), seed=seed)

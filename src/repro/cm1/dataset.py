@@ -1,0 +1,137 @@
+"""Pre-generated CM1 datasets (in-memory or on-disk).
+
+The paper replays a stored 572-iteration dataset instead of running CM1's
+computation phase for every experiment.  :class:`CM1Dataset` offers the same
+workflow: generate ``n`` snapshots once (optionally persisting them through
+:class:`~repro.io.store.DatasetStore`), then iterate over them as many times
+as the experiments need.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, List, Optional
+
+from repro.cm1.config import CM1Config
+from repro.cm1.simulation import CM1Simulation
+from repro.grid.block import Block
+from repro.grid.decomposition import CartesianDecomposition
+from repro.grid.domain import Domain
+from repro.io.replay import equally_spaced
+from repro.io.store import DatasetStore
+
+
+class CM1Dataset:
+    """A replayable sequence of synthetic CM1 snapshots.
+
+    Parameters
+    ----------
+    config:
+        CM1 configuration used to generate the snapshots.
+    nsnapshots:
+        Number of snapshots the dataset holds.
+    cache:
+        When True (default) generated domains are kept in memory so replaying
+        them is free; otherwise they are regenerated on demand.
+    """
+
+    def __init__(
+        self,
+        config: Optional[CM1Config] = None,
+        nsnapshots: int = 10,
+        cache: bool = True,
+    ) -> None:
+        if nsnapshots < 1:
+            raise ValueError(f"nsnapshots must be >= 1, got {nsnapshots}")
+        self.config = config or CM1Config()
+        self.simulation = CM1Simulation(self.config)
+        self.nsnapshots = int(nsnapshots)
+        self._cache_enabled = bool(cache)
+        self._cache: dict[int, Domain] = {}
+
+    # -- access ------------------------------------------------------------
+
+    def snapshot(self, index: int) -> Domain:
+        """Return snapshot ``index`` (0-based), generating it if needed."""
+        if not (0 <= index < self.nsnapshots):
+            raise IndexError(f"snapshot index {index} out of range [0, {self.nsnapshots})")
+        if index in self._cache:
+            return self._cache[index]
+        domain = self.simulation.snapshot(index)
+        if self._cache_enabled:
+            self._cache[index] = domain
+        return domain
+
+    def __len__(self) -> int:
+        return self.nsnapshots
+
+    def __iter__(self) -> Iterator[Domain]:
+        for i in range(self.nsnapshots):
+            yield self.snapshot(i)
+
+    def select(self, count: int) -> List[int]:
+        """Equally spaced snapshot indices (the paper's iteration selection)."""
+        return equally_spaced(list(range(self.nsnapshots)), count)
+
+    def per_rank_blocks(
+        self,
+        decomposition: CartesianDecomposition,
+        index: int,
+        field_name: str = "dbz",
+    ) -> List[List[Block]]:
+        """Blocks of snapshot ``index`` split across the decomposition's ranks."""
+        domain = self.snapshot(index)
+        field = domain.get_field(field_name)
+        return [
+            decomposition.extract_blocks(rank, field, field_name)
+            for rank in range(decomposition.nranks)
+        ]
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, directory: Path) -> DatasetStore:
+        """Persist every snapshot into a :class:`DatasetStore` at ``directory``."""
+        store = DatasetStore(Path(directory))
+        store.create(
+            self.simulation.grid,
+            metadata={
+                "generator": "repro.cm1.CM1Dataset",
+                "shape": list(self.config.shape),
+                "seed": self.config.seed,
+                "nsnapshots": self.nsnapshots,
+            },
+        )
+        for domain in self:
+            store.append(domain)
+        return store
+
+    @staticmethod
+    def load(directory: Path, field_name: str = "dbz") -> "StoredCM1Dataset":
+        """Open a previously saved dataset for replay."""
+        return StoredCM1Dataset(DatasetStore(Path(directory)), field_name=field_name)
+
+
+class StoredCM1Dataset:
+    """Read-only view over a persisted CM1 dataset."""
+
+    def __init__(self, store: DatasetStore, field_name: str = "dbz") -> None:
+        if not store.exists():
+            raise FileNotFoundError(f"no dataset at {store.root}")
+        self.store = store
+        self.field_name = field_name
+        self._iterations = store.iterations()
+
+    def __len__(self) -> int:
+        return len(self._iterations)
+
+    def snapshot(self, index: int) -> Domain:
+        """Load snapshot ``index`` (0-based position in the stored sequence)."""
+        if not (0 <= index < len(self._iterations)):
+            raise IndexError(f"snapshot index {index} out of range")
+        return self.store.load_iteration(
+            self._iterations[index], fields=[self.field_name]
+        )
+
+    def __iter__(self) -> Iterator[Domain]:
+        for i in range(len(self)):
+            yield self.snapshot(i)

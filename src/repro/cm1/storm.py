@@ -1,0 +1,175 @@
+"""Analytic description of a time-evolving supercell storm.
+
+The storm is described in *normalised* coordinates (the horizontal domain is
+the unit square, the vertical axis the unit interval) by a set of smooth
+envelope functions:
+
+* a precipitation **core** centred at the (moving) storm centre;
+* a **hook echo** — a curved appendage wrapping around the mesocyclone,
+  characteristic of supercells and of the vortex region the paper's
+  scientists care about;
+* a **weak echo region** (bounded weak echo vault) — a reflectivity minimum
+  just above the low-level inflow, carved out of the core (the 45 dBZ
+  isosurface around it is exactly what the paper renders);
+* an **anvil** — upper-level reflectivity spread downwind of the core.
+
+These envelopes are combined by the microphysics into hydrometeor mixing
+ratios.  All functions are vectorised over full coordinate meshes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.cm1.config import StormConfig
+
+
+@dataclass(frozen=True)
+class StormGeometry:
+    """The storm's geometric state at one iteration."""
+
+    center: Tuple[float, float]
+    radius: float
+    intensity: float
+    rotation_angle: float
+
+
+class SupercellStorm:
+    """Time-evolving synthetic supercell.
+
+    Parameters
+    ----------
+    config:
+        Storm parameters (initial position, motion, growth, rotation, ...).
+    """
+
+    def __init__(self, config: StormConfig) -> None:
+        self.config = config
+
+    # -- geometric evolution -------------------------------------------------
+
+    def geometry(self, iteration: int) -> StormGeometry:
+        """Return the storm geometry at ``iteration`` (0-based snapshot index)."""
+        if iteration < 0:
+            raise ValueError(f"iteration must be >= 0, got {iteration}")
+        cfg = self.config
+        cx = cfg.initial_center[0] + cfg.motion_per_iteration[0] * iteration
+        cy = cfg.initial_center[1] + cfg.motion_per_iteration[1] * iteration
+        # Keep the storm inside the domain: reflect at the borders.
+        cx = float(np.clip(cx, 0.1, 0.9))
+        cy = float(np.clip(cy, 0.1, 0.9))
+        radius = min(
+            cfg.max_radius,
+            cfg.initial_radius + cfg.radius_growth_per_iteration * iteration,
+        )
+        # Intensity ramps up over the first iterations then saturates.
+        intensity = float(1.0 - np.exp(-(iteration + 5) / 12.0))
+        rotation_angle = 0.15 * iteration
+        return StormGeometry((cx, cy), float(radius), intensity, float(rotation_angle))
+
+    # -- envelope fields -------------------------------------------------------
+
+    def envelopes(
+        self,
+        xn: np.ndarray,
+        yn: np.ndarray,
+        zn: np.ndarray,
+        iteration: int,
+    ) -> dict:
+        """Evaluate the storm envelope fields on a normalised coordinate mesh.
+
+        Parameters
+        ----------
+        xn, yn, zn:
+            Broadcastable normalised coordinates in [0, 1] (typically the
+            output of ``np.meshgrid(..., indexing="ij")`` on normalised axes).
+        iteration:
+            Snapshot index.
+
+        Returns
+        -------
+        dict
+            ``{"core", "hook", "weak_echo", "anvil", "updraft"}`` — arrays
+            broadcast to the mesh shape, each in [0, 1].
+        """
+        geo = self.geometry(iteration)
+        cfg = self.config
+        cx, cy = geo.center
+        r = geo.radius
+
+        dx = xn - cx
+        dy = yn - cy
+        rho = np.sqrt(dx**2 + dy**2)
+        theta = np.arctan2(dy, dx)
+
+        # Vertical profile: maximum at core_height, decaying over core_depth.
+        zprof = np.exp(-(((zn - cfg.core_height) / (0.5 * cfg.core_depth)) ** 2))
+        # Low-level profile used by the hook (hook echoes are low-level features).
+        zlow = np.exp(-((zn / (0.35 * cfg.core_depth)) ** 2))
+        # Upper-level profile for the anvil.
+        zhigh = np.exp(-(((zn - 0.8) / 0.18) ** 2))
+
+        # Precipitation core: smooth radial falloff.
+        core = np.exp(-((rho / r) ** 2)) * zprof
+
+        # Hook echo: a logarithmic-spiral ridge wrapping around the mesocyclone.
+        spiral_r = r * (0.55 + 0.35 * ((theta + geo.rotation_angle) % (2 * np.pi)) / (2 * np.pi))
+        hook = (
+            cfg.rotation_strength
+            * np.exp(-(((rho - spiral_r) / (0.25 * r)) ** 2))
+            * np.exp(-((rho / (1.6 * r)) ** 2))
+            * zlow
+        )
+
+        # Weak echo region: a vault carved out on the inflow flank, slightly
+        # below the core maximum.
+        wx = cx + 0.35 * r
+        wy = cy - 0.2 * r
+        wrad = cfg.weak_echo_radius * r
+        wdist2 = ((xn - wx) ** 2 + (yn - wy) ** 2) / max(wrad**2, 1e-12)
+        wvert = np.exp(-(((zn - 0.22) / 0.16) ** 2))
+        weak_echo = np.exp(-wdist2) * wvert
+
+        # Anvil: elongated downwind (positive x) at upper levels.
+        anvil = (
+            cfg.anvil_strength
+            * np.exp(-((dy / (1.2 * r)) ** 2))
+            * np.exp(-(((dx - 1.2 * r) / (2.5 * r)) ** 2))
+            * zhigh
+        )
+
+        # Updraft envelope (used by the wind field): narrow column through the
+        # core, tilted slightly downshear with height.
+        ux = cx + 0.15 * r * zn
+        uy = cy
+        udist2 = ((xn - ux) ** 2 + (yn - uy) ** 2) / max((0.45 * r) ** 2, 1e-12)
+        updraft = np.exp(-udist2) * np.sin(np.pi * np.clip(zn, 0.0, 1.0))
+
+        scale = geo.intensity
+        return {
+            "core": scale * core,
+            "hook": scale * hook,
+            "weak_echo": weak_echo,
+            "anvil": scale * anvil,
+            "updraft": scale * updraft,
+        }
+
+    def interest_mask(
+        self,
+        xn: np.ndarray,
+        yn: np.ndarray,
+        zn: np.ndarray,
+        iteration: int,
+        threshold: float = 0.05,
+    ) -> np.ndarray:
+        """Boolean mask of the region of scientific interest.
+
+        Used by tests to check that the interesting region is a small fraction
+        of the domain and that content-based metrics give it high scores.
+        """
+        env = self.envelopes(xn, yn, zn, iteration)
+        combined = env["core"] + env["hook"] + env["anvil"]
+        return combined > threshold

@@ -1,0 +1,82 @@
+"""Common compressor interface."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import ensure_3d
+
+
+@dataclass(frozen=True)
+class CompressionResult:
+    """Outcome of compressing one block.
+
+    Attributes
+    ----------
+    payload:
+        The encoded byte string.
+    original_nbytes:
+        Size of the uncompressed input buffer.
+    shape:
+        Shape of the original array (needed for decompression).
+    dtype:
+        Dtype string of the original array.
+    """
+
+    payload: bytes
+    original_nbytes: int
+    shape: Tuple[int, int, int]
+    dtype: str
+
+    @property
+    def compressed_nbytes(self) -> int:
+        """Size of the encoded payload in bytes."""
+        return len(self.payload)
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio ``original / compressed`` (higher = more compressible)."""
+        if self.compressed_nbytes == 0:
+            return float("inf")
+        return self.original_nbytes / self.compressed_nbytes
+
+
+class Compressor(abc.ABC):
+    """Abstract floating-point block compressor."""
+
+    #: Short name used by the metric registry (e.g. ``"fpzip"``).
+    name: str = "compressor"
+
+    @abc.abstractmethod
+    def compress(self, block: np.ndarray) -> CompressionResult:
+        """Compress a 3-D floating-point block."""
+
+    @abc.abstractmethod
+    def decompress(self, result: CompressionResult) -> np.ndarray:
+        """Reconstruct a block from a :class:`CompressionResult`."""
+
+    def ratio(self, block: np.ndarray) -> float:
+        """Compression ratio of ``block`` (no need to keep the payload)."""
+        return self.compress(block).ratio
+
+    def compressed_size(self, block: np.ndarray) -> int:
+        """Compressed size of ``block`` in bytes."""
+        return self.compress(block).compressed_nbytes
+
+    # -- shared validation -------------------------------------------------
+
+    @staticmethod
+    def _prepare(block: np.ndarray) -> np.ndarray:
+        """Validate and normalise an input block (3-D float32/float64)."""
+        arr = ensure_3d(block, "block")
+        if not np.issubdtype(arr.dtype, np.floating):
+            arr = arr.astype(np.float32)
+        if arr.dtype not in (np.float32, np.float64):
+            arr = arr.astype(np.float64)
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("block contains non-finite values")
+        return np.ascontiguousarray(arr)

@@ -1,0 +1,114 @@
+"""Bit-level utilities shared by the compressors.
+
+* monotone float ↔ unsigned-int mapping (so integer prediction residuals
+  reflect numerical closeness of the floats);
+* zigzag mapping of signed residuals to unsigned ints (small magnitudes map
+  to small codes);
+* byte-length classification used by the length-grouped codec.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+_FLOAT_TO_UINT = {
+    np.dtype(np.float32): (np.uint32, np.int32, 32),
+    np.dtype(np.float64): (np.uint64, np.int64, 64),
+}
+
+
+def _spec(dtype: np.dtype) -> Tuple[type, type, int]:
+    spec = _FLOAT_TO_UINT.get(np.dtype(dtype))
+    if spec is None:
+        raise ValueError(f"unsupported float dtype: {dtype}")
+    return spec
+
+
+def float_to_ordered_uint(values: np.ndarray) -> np.ndarray:
+    """Map floats to unsigned ints preserving numerical order.
+
+    The classic trick: positive floats keep their bit pattern with the sign
+    bit set; negative floats are bitwise inverted.  After the mapping,
+    ``a < b`` (as floats) iff ``map(a) < map(b)`` (as unsigned ints), so
+    integer differences are meaningful prediction residuals.
+    """
+    arr = np.asarray(values)
+    utype, itype, bits = _spec(arr.dtype)
+    raw = arr.view(utype)
+    sign_mask = utype(1) << (bits - 1)
+    negative = (raw & sign_mask) != 0
+    out = np.where(negative, ~raw, raw | sign_mask)
+    return out.astype(utype)
+
+
+def ordered_uint_to_float(codes: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """Inverse of :func:`float_to_ordered_uint`."""
+    utype, itype, bits = _spec(dtype)
+    codes = np.asarray(codes, dtype=utype)
+    sign_mask = utype(1) << (bits - 1)
+    was_positive = (codes & sign_mask) != 0
+    raw = np.where(was_positive, codes & ~sign_mask, ~codes)
+    return raw.astype(utype).view(dtype).copy()
+
+
+def zigzag_encode(values: np.ndarray, bits: int) -> np.ndarray:
+    """Map signed residuals to unsigned codes: 0, -1, 1, -2, 2 → 0, 1, 2, 3, 4."""
+    if bits not in (32, 64):
+        raise ValueError(f"bits must be 32 or 64, got {bits}")
+    itype = np.int32 if bits == 32 else np.int64
+    utype = np.uint32 if bits == 32 else np.uint64
+    v = np.asarray(values, dtype=itype)
+    return ((v << 1) ^ (v >> (bits - 1))).astype(utype)
+
+
+def zigzag_decode(codes: np.ndarray, bits: int) -> np.ndarray:
+    """Inverse of :func:`zigzag_encode`."""
+    if bits not in (32, 64):
+        raise ValueError(f"bits must be 32 or 64, got {bits}")
+    utype = np.uint32 if bits == 32 else np.uint64
+    itype = np.int32 if bits == 32 else np.int64
+    c = np.asarray(codes, dtype=utype)
+    return ((c >> 1).astype(itype)) ^ -((c & 1).astype(itype))
+
+
+def byte_lengths(codes: np.ndarray, max_bytes: int) -> np.ndarray:
+    """Number of little-endian bytes needed to represent each unsigned code.
+
+    Zero needs 0 bytes; values below 256 need 1; and so on up to ``max_bytes``.
+    """
+    if max_bytes < 1:
+        raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+    c = np.asarray(codes)
+    lengths = np.zeros(c.shape, dtype=np.uint8)
+    threshold = np.uint64(1)
+    c64 = c.astype(np.uint64)
+    for nbytes in range(1, max_bytes + 1):
+        threshold = np.uint64(1) << np.uint64(8 * (nbytes - 1))
+        lengths[c64 >= threshold] = nbytes
+    return lengths
+
+
+def pack_nibbles(values: np.ndarray) -> bytes:
+    """Pack an array of 4-bit values (0..15) into a byte string (two per byte)."""
+    v = np.asarray(values, dtype=np.uint8)
+    if np.any(v > 15):
+        raise ValueError("nibble values must be < 16")
+    if v.size % 2 == 1:
+        v = np.concatenate([v, np.zeros(1, dtype=np.uint8)])
+    packed = (v[0::2] << 4) | v[1::2]
+    return packed.tobytes()
+
+
+def unpack_nibbles(data: bytes, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_nibbles`; returns ``count`` nibble values."""
+    packed = np.frombuffer(data, dtype=np.uint8)
+    high = packed >> 4
+    low = packed & 0x0F
+    out = np.empty(packed.size * 2, dtype=np.uint8)
+    out[0::2] = high
+    out[1::2] = low
+    if count > out.size:
+        raise ValueError(f"requested {count} nibbles but only {out.size} stored")
+    return out[:count]

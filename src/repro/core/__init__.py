@@ -1,0 +1,60 @@
+"""The performance-constrained in situ visualization pipeline (the paper's contribution).
+
+The pipeline consists of the six steps of the paper's Figure 2, applied to the
+blocks of every simulation iteration:
+
+1. **Score** blocks with a generic or user-provided metric
+   (:mod:`repro.core.scoring_step`);
+2. **Sort** the ``<id, score>`` pairs globally and broadcast the sorted list
+   (:mod:`repro.core.sorting_step`);
+3. **Reduce** the ``p``% lowest-scored blocks to their 8 corners
+   (:mod:`repro.core.reduction_step`);
+4. **Redistribute** blocks across processes for load balance
+   (:mod:`repro.core.redistribution`);
+5. **Render** the blocks through the Catalyst-like visualization pipeline
+   (:mod:`repro.core.rendering_step`);
+6. **Adapt** ``p`` from the measured run time and the target
+   (:mod:`repro.core.adaptation`, Algorithm 1).
+
+:class:`InSituPipeline` orchestrates the steps over a set of virtual ranks;
+:class:`PerformanceMonitor` records per-iteration, per-step timings in both
+measured wall-clock and modelled platform seconds.
+"""
+
+from repro.core.config import PipelineConfig, AdaptationConfig
+from repro.core.adaptation import adapt_percent, AdaptationController
+from repro.core.scoring_step import ScoringStep
+from repro.core.sorting_step import SortingStep
+from repro.core.reduction_step import ReductionStep, select_blocks_to_reduce
+from repro.core.redistribution import (
+    RedistributionStrategy,
+    NoRedistribution,
+    RandomShuffle,
+    RoundRobin,
+    make_strategy,
+)
+from repro.core.rendering_step import RenderingStep
+from repro.core.monitor import PerformanceMonitor
+from repro.core.results import IterationResult, PipelineRunResult
+from repro.core.pipeline import InSituPipeline
+
+__all__ = [
+    "PipelineConfig",
+    "AdaptationConfig",
+    "adapt_percent",
+    "AdaptationController",
+    "ScoringStep",
+    "SortingStep",
+    "ReductionStep",
+    "select_blocks_to_reduce",
+    "RedistributionStrategy",
+    "NoRedistribution",
+    "RandomShuffle",
+    "RoundRobin",
+    "make_strategy",
+    "RenderingStep",
+    "PerformanceMonitor",
+    "IterationResult",
+    "PipelineRunResult",
+    "InSituPipeline",
+]

@@ -1,0 +1,98 @@
+"""Configuration of the adaptive pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.utils.validation import ensure_in_range, ensure_positive
+
+
+@dataclass(frozen=True)
+class AdaptationConfig:
+    """Configuration of the Algorithm 1 controller.
+
+    Attributes
+    ----------
+    enabled:
+        Whether the percentage of reduced blocks is adapted at all (the
+        fixed-percentage experiments of Figures 6–9 disable it).
+    target_seconds:
+        The performance constraint: required run time of the full pipeline
+        per iteration, in modelled platform seconds.
+    initial_percent:
+        Percentage used for the first iteration.  The paper starts at 0 ("the
+        first output of the simulation is not reduced").
+    max_percent:
+        Optional user bound on the percentage of reduced blocks (the paper
+        notes the maximum "could easily be bounded by the user").
+    """
+
+    enabled: bool = True
+    target_seconds: float = 30.0
+    initial_percent: float = 0.0
+    max_percent: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.enabled:
+            ensure_positive(self.target_seconds, "target_seconds")
+        ensure_in_range(self.initial_percent, (0.0, 100.0), "initial_percent")
+        ensure_in_range(self.max_percent, (0.0, 100.0), "max_percent")
+        if self.initial_percent > self.max_percent:
+            raise ValueError(
+                f"initial_percent ({self.initial_percent}) exceeds max_percent "
+                f"({self.max_percent})"
+            )
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Configuration of one pipeline run.
+
+    Attributes
+    ----------
+    metric:
+        Name of the block-scoring metric (resolved through the default
+        metric registry: "VAR", "LEA", "FPZIP", ...).
+    redistribution:
+        ``"none"``, ``"shuffle"`` (random), or ``"round_robin"``.
+    isosurface_level:
+        Isovalue of the rendered isosurface (45 dBZ in the paper).
+    render_mode:
+        ``"count"`` (cheap load proxy, default for large rank counts) or
+        ``"mesh"`` (real marching-cubes geometry).
+    field_name:
+        Field the pipeline visualises.
+    adaptation:
+        Algorithm 1 configuration.
+    shuffle_seed:
+        Seed shared by all ranks for the random-shuffle strategy.
+    use_modelled_time:
+        When True (default) the controller reacts to modelled platform
+        seconds; when False it reacts to measured wall-clock (useful for
+        pure-software runs without the platform model).
+    """
+
+    metric: str = "VAR"
+    redistribution: str = "none"
+    isosurface_level: float = 45.0
+    render_mode: str = "count"
+    field_name: str = "dbz"
+    adaptation: AdaptationConfig = field(default_factory=AdaptationConfig)
+    shuffle_seed: int = 2016
+    use_modelled_time: bool = True
+
+    def __post_init__(self) -> None:
+        if self.redistribution not in ("none", "shuffle", "round_robin"):
+            raise ValueError(
+                f"redistribution must be 'none', 'shuffle' or 'round_robin', "
+                f"got {self.redistribution!r}"
+            )
+        if self.render_mode not in ("count", "mesh"):
+            raise ValueError(
+                f"render_mode must be 'count' or 'mesh', got {self.render_mode!r}"
+            )
+        if not self.metric:
+            raise ValueError("metric name must not be empty")
+        if not self.field_name:
+            raise ValueError("field_name must not be empty")

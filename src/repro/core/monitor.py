@@ -1,0 +1,82 @@
+"""Step 6 support: monitoring the pipeline's own performance.
+
+The monitor collects, for every iteration, the per-step measured and modelled
+times plus auxiliary quantities (per-rank triangle counts, bytes moved).  The
+adaptation controller reads the full-pipeline time from here; experiment
+drivers read everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.results import IterationResult, PipelineRunResult
+from repro.utils.timer import StepTimings
+
+
+class PerformanceMonitor:
+    """Collects per-iteration step timings."""
+
+    STEPS = ("scoring", "sorting", "reduction", "redistribution", "rendering")
+
+    def __init__(self) -> None:
+        self._iterations: List[IterationResult] = []
+
+    # -- recording --------------------------------------------------------------
+
+    def record_iteration(self, result: IterationResult) -> None:
+        """Store one iteration's results."""
+        self._iterations.append(result)
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def niterations(self) -> int:
+        """Number of recorded iterations."""
+        return len(self._iterations)
+
+    def last(self) -> Optional[IterationResult]:
+        """Most recent iteration result (None before the first iteration)."""
+        return self._iterations[-1] if self._iterations else None
+
+    def iteration(self, index: int) -> IterationResult:
+        """Result of iteration ``index`` (0-based recording order)."""
+        return self._iterations[index]
+
+    def results(self) -> List[IterationResult]:
+        """All recorded iteration results (copy of the list)."""
+        return list(self._iterations)
+
+    def to_run_result(self, config_summary: Dict[str, object]) -> PipelineRunResult:
+        """Bundle the recorded iterations into a :class:`PipelineRunResult`."""
+        run = PipelineRunResult(config_summary=config_summary)
+        for result in self._iterations:
+            run.add(result)
+        return run
+
+    # -- aggregates ---------------------------------------------------------------
+
+    def step_series(self, step: str, modelled: bool = True) -> List[float]:
+        """Per-iteration seconds of one step."""
+        if step not in self.STEPS:
+            raise ValueError(f"unknown step {step!r}; expected one of {self.STEPS}")
+        if modelled:
+            return [r.modelled_steps.get(step, 0.0) for r in self._iterations]
+        return [r.measured_steps.get(step, 0.0) for r in self._iterations]
+
+    def total_series(self, modelled: bool = True) -> List[float]:
+        """Per-iteration full-pipeline seconds."""
+        if modelled:
+            return [r.modelled_total for r in self._iterations]
+        return [r.measured_total for r in self._iterations]
+
+    def mean_step(self, step: str, modelled: bool = True) -> float:
+        """Mean seconds of one step over the recorded iterations."""
+        series = self.step_series(step, modelled)
+        return float(np.mean(series)) if series else 0.0
+
+    def imbalance_series(self) -> List[float]:
+        """Per-iteration rendering load imbalance (max/mean triangles)."""
+        return [r.load_imbalance for r in self._iterations]

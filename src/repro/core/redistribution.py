@@ -1,0 +1,177 @@
+"""Step 4: load redistribution (shuffling) of blocks across processes.
+
+Because every rank holds the same globally sorted block list, every rank can
+compute the same target assignment without additional coordination, then
+exchange the block payloads with non-blocking point-to-point messages —
+modelled here by one personalised all-to-all.
+
+Two strategies from the paper are provided, plus the no-op:
+
+* :class:`RandomShuffle` — each process receives a random set of blocks (the
+  per-process block count stays constant); all ranks derive the permutation
+  from the same seed.  Ignores the scores.  This is the paper's baseline.
+* :class:`RoundRobin` — blocks sorted by *decreasing* score are dealt to
+  processes 0, 1, 2, ... in turn, so the rendering load of the high-score
+  region is spread evenly.
+* :class:`NoRedistribution` — keep the initial, content-oblivious domain
+  decomposition.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.grid.block import Block
+from repro.simmpi.communicator import BSPCommunicator
+from repro.utils.random import derive_seed, rng_from_seed
+from repro.utils.timer import Timer
+
+ScorePair = Tuple[int, float]
+
+
+class RedistributionStrategy(abc.ABC):
+    """Computes the target owner of every block."""
+
+    name = "strategy"
+
+    @abc.abstractmethod
+    def assign_owners(
+        self,
+        sorted_pairs: Sequence[ScorePair],
+        nranks: int,
+        iteration: int,
+    ) -> Dict[int, int]:
+        """Return the mapping block id -> destination rank."""
+
+    def redistribute(
+        self,
+        comm: BSPCommunicator,
+        per_rank_blocks: Sequence[Sequence[Block]],
+        sorted_pairs: Sequence[ScorePair],
+        iteration: int,
+    ) -> Tuple[List[List[Block]], Dict[str, float]]:
+        """Exchange blocks so every rank ends up with its assigned set.
+
+        Returns the new per-rank block lists (sorted by block id) and timing
+        info (measured wall-clock, modelled communication seconds, exchanged
+        bytes).
+        """
+        nranks = comm.nranks
+        owners = self.assign_owners(sorted_pairs, nranks, iteration)
+        before = comm.communication_seconds()
+        with Timer() as timer:
+            send_lists: List[List[object]] = [
+                [None] * nranks for _ in range(nranks)
+            ]
+            kept: List[List[Block]] = [[] for _ in range(nranks)]
+            moved_bytes = 0
+            moved_blocks = 0
+            for rank, blocks in enumerate(per_rank_blocks):
+                outgoing: Dict[int, List[Block]] = {}
+                for block in blocks:
+                    dest = owners.get(block.block_id, rank)
+                    if dest == rank:
+                        kept[rank].append(block.with_owner(rank))
+                    else:
+                        outgoing.setdefault(dest, []).append(block.with_owner(dest))
+                        moved_bytes += block.nbytes
+                        moved_blocks += 1
+                for dest, payload in outgoing.items():
+                    send_lists[rank][dest] = payload
+            received = comm.alltoallv(send_lists)
+            new_blocks: List[List[Block]] = []
+            for rank in range(nranks):
+                mine = list(kept[rank])
+                for src in range(nranks):
+                    payload = received[rank][src]
+                    if payload:
+                        mine.extend(payload)
+                mine.sort(key=lambda b: b.block_id)
+                new_blocks.append(mine)
+        modelled = comm.communication_seconds() - before
+        info = {
+            "measured": timer.elapsed,
+            "modelled": modelled,
+            "moved_bytes": float(moved_bytes),
+            "moved_blocks": float(moved_blocks),
+        }
+        return new_blocks, info
+
+
+class NoRedistribution(RedistributionStrategy):
+    """Keep the original owners (the paper's "NONE" configuration)."""
+
+    name = "none"
+
+    def assign_owners(
+        self, sorted_pairs: Sequence[ScorePair], nranks: int, iteration: int
+    ) -> Dict[int, int]:
+        return {}
+
+    def redistribute(
+        self,
+        comm: BSPCommunicator,
+        per_rank_blocks: Sequence[Sequence[Block]],
+        sorted_pairs: Sequence[ScorePair],
+        iteration: int,
+    ) -> Tuple[List[List[Block]], Dict[str, float]]:
+        # Skip the exchange entirely: no communication, no cost.
+        info = {"measured": 0.0, "modelled": 0.0, "moved_bytes": 0.0, "moved_blocks": 0.0}
+        return [list(blocks) for blocks in per_rank_blocks], info
+
+
+class RandomShuffle(RedistributionStrategy):
+    """Random assignment of blocks to ranks, same seed on every rank."""
+
+    name = "shuffle"
+
+    def __init__(self, seed: int = 2016) -> None:
+        self.seed = int(seed)
+
+    def assign_owners(
+        self, sorted_pairs: Sequence[ScorePair], nranks: int, iteration: int
+    ) -> Dict[int, int]:
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        block_ids = sorted(block_id for block_id, _ in sorted_pairs)
+        nblocks = len(block_ids)
+        # Constant number of blocks per process: deal rank labels then shuffle.
+        labels = np.array([i % nranks for i in range(nblocks)], dtype=np.int64)
+        rng = rng_from_seed(derive_seed(self.seed, "shuffle", iteration))
+        rng.shuffle(labels)
+        return {bid: int(lbl) for bid, lbl in zip(block_ids, labels)}
+
+
+class RoundRobin(RedistributionStrategy):
+    """Deal blocks to ranks in decreasing score order."""
+
+    name = "round_robin"
+
+    def assign_owners(
+        self, sorted_pairs: Sequence[ScorePair], nranks: int, iteration: int
+    ) -> Dict[int, int]:
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        owners: Dict[int, int] = {}
+        # sorted_pairs is ascending; the paper deals from the highest score.
+        for position, (block_id, _score) in enumerate(reversed(list(sorted_pairs))):
+            owners[block_id] = position % nranks
+        return owners
+
+
+def make_strategy(name: str, seed: int = 2016) -> RedistributionStrategy:
+    """Factory used by the pipeline configuration."""
+    key = name.strip().lower()
+    if key in ("none", "no", "off"):
+        return NoRedistribution()
+    if key in ("shuffle", "random", "random_shuffle"):
+        return RandomShuffle(seed=seed)
+    if key in ("round_robin", "roundrobin", "rr"):
+        return RoundRobin()
+    raise ValueError(
+        f"unknown redistribution strategy {name!r}; "
+        "expected 'none', 'shuffle' or 'round_robin'"
+    )

@@ -1,0 +1,78 @@
+"""Step 3: reducing the lowest-scored blocks to their corners.
+
+Given the globally sorted ``<id, score>`` list (identical on every rank) and
+the percentage ``p``, the ``p``% blocks with the lowest scores are reduced to
+2×2×2 corner blocks.  Every rank takes the same decision locally, then reduces
+only the blocks it owns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.grid.block import Block
+from repro.grid.reduction import reduce_block
+from repro.utils.timer import Timer
+
+ScorePair = Tuple[int, float]
+
+#: Modelled cost of reducing one block (a strided copy of 8 values).
+SECONDS_PER_REDUCED_BLOCK = 2.0e-6
+
+
+def select_blocks_to_reduce(sorted_pairs: Sequence[ScorePair], percent: float) -> Set[int]:
+    """Ids of the ``percent``% lowest-scored blocks.
+
+    ``sorted_pairs`` must already be in ascending (score, id) order — the
+    output of the sorting step.  The count is rounded to the nearest block.
+    """
+    if not (0.0 <= percent <= 100.0):
+        raise ValueError(f"percent must be in [0, 100], got {percent}")
+    nblocks = len(sorted_pairs)
+    count = int(round(nblocks * percent / 100.0))
+    count = min(count, nblocks)
+    return {block_id for block_id, _ in sorted_pairs[:count]}
+
+
+class ReductionStep:
+    """Reduces the selected blocks on every rank."""
+
+    def run(
+        self,
+        per_rank_blocks: Sequence[Sequence[Block]],
+        sorted_pairs: Sequence[ScorePair],
+        percent: float,
+    ) -> Tuple[List[List[Block]], Set[int], Dict[str, object]]:
+        """Apply the reduction.
+
+        Returns
+        -------
+        (per_rank_blocks, reduced_ids, info)
+            Blocks with the selected ones replaced by their reduced copies,
+            the set of reduced block ids, and measured/modelled timing info.
+        """
+        reduced_ids = select_blocks_to_reduce(sorted_pairs, percent)
+        out: List[List[Block]] = []
+        measured: List[float] = []
+        modelled: List[float] = []
+        for blocks in per_rank_blocks:
+            reduced_count = 0
+            with Timer() as timer:
+                new_blocks = []
+                for block in blocks:
+                    if block.block_id in reduced_ids:
+                        new_blocks.append(reduce_block(block))
+                        reduced_count += 1
+                    else:
+                        new_blocks.append(block)
+            out.append(new_blocks)
+            measured.append(timer.elapsed)
+            modelled.append(reduced_count * SECONDS_PER_REDUCED_BLOCK)
+        info = {
+            "measured_per_rank": measured,
+            "modelled_per_rank": modelled,
+            "measured_max": max(measured) if measured else 0.0,
+            "modelled_max": max(modelled) if modelled else 0.0,
+            "nreduced": len(reduced_ids),
+        }
+        return out, reduced_ids, info

@@ -1,0 +1,74 @@
+"""Step 5: rendering through the Catalyst-like visualization pipeline.
+
+Each rank runs the isosurface script over the blocks it currently owns.  The
+step's modelled time is the *maximum* of the per-rank modelled rendering
+times (the rendering ends with a synchronous composition, so the slowest
+process drives the total — the load-imbalance effect the redistribution step
+attacks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.grid.block import Block
+from repro.perfmodel.platform import PlatformModel
+from repro.viz.catalyst import CatalystPipeline, IsosurfaceScript, RenderResult
+
+
+class RenderingStep:
+    """Runs the visualization scripts on every rank and prices the work."""
+
+    def __init__(
+        self,
+        platform: PlatformModel,
+        isosurface_level: float = 45.0,
+        render_mode: str = "count",
+        render_image: bool = False,
+    ) -> None:
+        self.platform = platform
+        self.script = IsosurfaceScript(
+            level=isosurface_level,
+            mode="mesh" if render_mode == "mesh" else "count",
+            render_image=render_image and render_mode == "mesh",
+        )
+        self.pipeline = CatalystPipeline([self.script])
+
+    def run(
+        self, per_rank_blocks: Sequence[Sequence[Block]], iteration: int
+    ) -> Tuple[List[RenderResult], Dict[str, object]]:
+        """Render every rank's blocks.
+
+        Returns
+        -------
+        (per_rank_results, info)
+            One :class:`RenderResult` per rank and a timing summary with the
+            per-rank and maximum modelled rendering seconds, plus per-rank
+            triangle counts (used for load-imbalance analyses).
+        """
+        results: List[RenderResult] = []
+        modelled: List[float] = []
+        measured: List[float] = []
+        triangles: List[int] = []
+        for blocks in per_rank_blocks:
+            outputs = self.pipeline.coprocess(blocks, iteration)
+            result = outputs[0]
+            results.append(result)
+            measured.append(result.measured_seconds)
+            triangles.append(result.ntriangles)
+            modelled.append(
+                self.platform.render.rank_seconds(
+                    ntriangles=result.ntriangles,
+                    npoints=result.npoints,
+                    nblocks=len(blocks),
+                )
+            )
+        info = {
+            "measured_per_rank": measured,
+            "modelled_per_rank": modelled,
+            "triangles_per_rank": triangles,
+            "measured_max": max(measured) if measured else 0.0,
+            "modelled_max": max(modelled) if modelled else 0.0,
+            "total_triangles": int(sum(triangles)),
+        }
+        return results, info

@@ -1,0 +1,108 @@
+"""Result records of pipeline runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class IterationResult:
+    """Outcome of one pipeline iteration.
+
+    All times are in seconds; ``modelled_*`` are platform-model seconds,
+    ``measured_*`` are Python wall-clock.
+    """
+
+    iteration: int
+    percent_reduced: float
+    nblocks: int
+    nreduced: int
+    #: Per-step modelled seconds: scoring, sorting, reduction, redistribution, rendering.
+    modelled_steps: Dict[str, float] = field(default_factory=dict)
+    measured_steps: Dict[str, float] = field(default_factory=dict)
+    #: Per-rank triangle counts after redistribution (rendering load).
+    triangles_per_rank: List[int] = field(default_factory=list)
+    #: Bytes moved by the redistribution step.
+    moved_bytes: float = 0.0
+
+    @property
+    def modelled_total(self) -> float:
+        """Full-pipeline modelled seconds for the iteration."""
+        return float(sum(self.modelled_steps.values()))
+
+    @property
+    def measured_total(self) -> float:
+        """Full-pipeline measured seconds for the iteration."""
+        return float(sum(self.measured_steps.values()))
+
+    @property
+    def modelled_rendering(self) -> float:
+        """Modelled rendering seconds (the quantity plotted in Figs. 5–10)."""
+        return float(self.modelled_steps.get("rendering", 0.0))
+
+    @property
+    def load_imbalance(self) -> float:
+        """max/mean of the per-rank triangle counts (1.0 = perfectly balanced)."""
+        if not self.triangles_per_rank:
+            return 1.0
+        arr = np.asarray(self.triangles_per_rank, dtype=np.float64)
+        mean = arr.mean()
+        if mean <= 0:
+            return 1.0
+        return float(arr.max() / mean)
+
+
+@dataclass
+class PipelineRunResult:
+    """Outcome of a multi-iteration pipeline run."""
+
+    config_summary: Dict[str, object]
+    iterations: List[IterationResult] = field(default_factory=list)
+
+    def add(self, result: IterationResult) -> None:
+        """Append one iteration's result."""
+        self.iterations.append(result)
+
+    @property
+    def niterations(self) -> int:
+        """Number of completed iterations."""
+        return len(self.iterations)
+
+    def modelled_totals(self) -> List[float]:
+        """Per-iteration full-pipeline modelled seconds."""
+        return [r.modelled_total for r in self.iterations]
+
+    def modelled_rendering_times(self) -> List[float]:
+        """Per-iteration modelled rendering seconds."""
+        return [r.modelled_rendering for r in self.iterations]
+
+    def percents(self) -> List[float]:
+        """Per-iteration percentage of reduced blocks."""
+        return [r.percent_reduced for r in self.iterations]
+
+    def mean_modelled_total(self) -> float:
+        """Mean full-pipeline modelled seconds over the run."""
+        totals = self.modelled_totals()
+        return float(np.mean(totals)) if totals else 0.0
+
+    def mean_modelled_rendering(self) -> float:
+        """Mean rendering modelled seconds over the run."""
+        times = self.modelled_rendering_times()
+        return float(np.mean(times)) if times else 0.0
+
+    def summary(self) -> Dict[str, object]:
+        """Compact dictionary summary (used by the experiment drivers)."""
+        rendering = self.modelled_rendering_times()
+        totals = self.modelled_totals()
+        return {
+            "config": dict(self.config_summary),
+            "iterations": self.niterations,
+            "rendering_mean": float(np.mean(rendering)) if rendering else 0.0,
+            "rendering_min": float(np.min(rendering)) if rendering else 0.0,
+            "rendering_max": float(np.max(rendering)) if rendering else 0.0,
+            "total_mean": float(np.mean(totals)) if totals else 0.0,
+            "percent_final": self.iterations[-1].percent_reduced if self.iterations else 0.0,
+        }

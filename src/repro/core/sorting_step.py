@@ -1,0 +1,45 @@
+"""Step 2: globally sorting the <block id, score> pairs.
+
+As in the paper, the pairs are sorted by increasing score (ties broken by
+block id) and the sorted list is broadcast back to every process, so each
+process knows the scores of all blocks — including those belonging to other
+processes — and can take identical reduction/redistribution decisions without
+further communication.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.simmpi.communicator import BSPCommunicator
+from repro.simmpi.sort import parallel_sort_pairs
+from repro.utils.timer import Timer
+
+ScorePair = Tuple[int, float]
+
+
+class SortingStep:
+    """Gather-sort-broadcast of the score pairs over the communicator."""
+
+    def __init__(self, comm: BSPCommunicator) -> None:
+        self.comm = comm
+
+    def run(
+        self, per_rank_pairs: Sequence[Sequence[ScorePair]]
+    ) -> Tuple[List[ScorePair], Dict[str, float]]:
+        """Sort the pairs globally.
+
+        Returns
+        -------
+        (sorted_pairs, info)
+            ``sorted_pairs`` is the global ascending (score, id) order (the
+            same list every rank holds after the broadcast); ``info`` carries
+            measured wall-clock and modelled communication seconds.
+        """
+        before = self.comm.communication_seconds()
+        with Timer() as timer:
+            per_rank_sorted = parallel_sort_pairs(self.comm, per_rank_pairs)
+        modelled = self.comm.communication_seconds() - before
+        sorted_pairs = per_rank_sorted[0]
+        info = {"measured": timer.elapsed, "modelled": modelled}
+        return sorted_pairs, info

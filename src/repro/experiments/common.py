@@ -1,0 +1,326 @@
+"""Shared scenario construction for the experiment drivers.
+
+An :class:`ExperimentScenario` bundles everything an experiment needs:
+
+* a synthetic CM1 dataset at laptop scale (the paper's 2200×2200×380 grid
+  scaled down by 10× per horizontal axis, same aspect ratio);
+* a CM1-style horizontal domain decomposition over the configured number of
+  virtual ranks, with a constant number of equally-sized blocks per rank;
+* a :class:`~repro.perfmodel.platform.PlatformModel` whose rendering cost is
+  **calibrated** so that the reference workload (iteration 0, no reduction,
+  no redistribution) costs exactly the paper's baseline on the slowest rank
+  (160 s on 64 cores, 50 s on 400 cores) — after which every other number the
+  drivers report emerges from the data and the model.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cm1.config import CM1Config
+from repro.cm1.dataset import CM1Dataset
+from repro.core.config import AdaptationConfig, PipelineConfig
+from repro.core.pipeline import InSituPipeline
+from repro.grid.block import Block
+from repro.grid.decomposition import CartesianDecomposition, factorize_ranks
+from repro.perfmodel.calibration import PAPER_BASELINES, calibrate_render_model
+from repro.perfmodel.platform import PlatformModel
+from repro.simmpi.costmodel import NetworkCostModel
+from repro.viz.catalyst import IsosurfaceScript
+
+#: Environment variable selecting the experiment scale ("small" or "full").
+SCALE_ENV_VAR = "REPRO_BENCH_SCALE"
+
+
+def bench_scale() -> str:
+    """Experiment scale selected through the environment (default "small")."""
+    value = os.environ.get(SCALE_ENV_VAR, "small").strip().lower()
+    if value not in ("small", "full"):
+        raise ValueError(
+            f"{SCALE_ENV_VAR} must be 'small' or 'full', got {value!r}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class ExchangeCalibratedNetwork(NetworkCostModel):
+    """Network model whose block-exchange bandwidth is calibrated separately.
+
+    Latency-bound collectives (barrier, the score sort's gather/broadcast) use
+    the physical Blue Waters parameters, while the personalised all-to-all of
+    the redistribution step uses an *effective* bandwidth calibrated so that a
+    full exchange of this repository's (much smaller) blocks costs what the
+    paper measured (~1.2 s on 64 cores, ~0.6 s on 400).
+    """
+
+    exchange_bandwidth: float = 6.0e9
+
+    def alltoallv(self, send_matrix_bytes, nranks: int) -> float:
+        effective = NetworkCostModel(
+            latency=self.latency,
+            bandwidth=self.exchange_bandwidth,
+            per_rank_overhead=self.per_rank_overhead,
+        )
+        return effective.alltoallv(send_matrix_bytes, nranks)
+
+
+def render_baseline_seconds(ncores: int) -> float:
+    """The paper's no-reduction/no-redistribution rendering baseline for ``ncores``."""
+    baselines = PAPER_BASELINES["render_none"]
+    if ncores in baselines:
+        return baselines[ncores]
+    # Scale the 64-core baseline by the core ratio for other configurations.
+    return baselines[64] * 64.0 / float(ncores)
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Parameters of an experiment scenario."""
+
+    ncores: int = 64
+    shape: Tuple[int, int, int] = (220, 220, 38)
+    blocks_per_subdomain: Tuple[int, int, int] = (2, 2, 2)
+    nsnapshots: int = 10
+    isosurface_level: float = 45.0
+    field_name: str = "dbz"
+    seed: int = 2016
+    #: Optional storm-structure override (None = CM1Config's default supercell).
+    storm: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.ncores < 1:
+            raise ValueError(f"ncores must be >= 1, got {self.ncores}")
+        if self.nsnapshots < 1:
+            raise ValueError(f"nsnapshots must be >= 1, got {self.nsnapshots}")
+
+    @classmethod
+    def _experiment_storm(cls):
+        """Storm used by the figure-reproduction scenarios.
+
+        Compared with the CM1 default it has stronger, finer-grained
+        turbulence so that the 45 dBZ isosurface crosses many blocks — at
+        1/10 of the paper's resolution this is what keeps the per-block
+        rendering load fine-grained enough for the redistribution step to
+        balance it, as it does at full scale in the paper.
+        """
+        from repro.cm1.config import StormConfig
+
+        return StormConfig(turbulence=1.2, turbulence_scale=0.08)
+
+    @classmethod
+    def blue_waters_64(cls, nsnapshots: int = 10) -> "ScenarioConfig":
+        """The 64-core configuration of the paper at laptop scale.
+
+        32 blocks per rank (the paper has 250) keeps the block granularity
+        fine enough for redistribution to balance the storm's rendering load.
+        """
+        return cls(
+            ncores=64,
+            shape=(220, 220, 38),
+            blocks_per_subdomain=(2, 2, 8),
+            nsnapshots=nsnapshots,
+            storm=cls._experiment_storm(),
+        )
+
+    @classmethod
+    def blue_waters_400(cls, nsnapshots: int = 10) -> "ScenarioConfig":
+        """The 400-core configuration of the paper at laptop scale.
+
+        16 blocks per rank keeps the per-iteration Python cost tractable; the
+        redistribution speedup it allows (~2.5–3×) is below the paper's 5×
+        because the laptop-scale isosurface simply does not contain enough
+        independent block loads for 400 ranks (see EXPERIMENTS.md).
+        """
+        return cls(
+            ncores=400,
+            shape=(220, 220, 38),
+            blocks_per_subdomain=(2, 2, 4),
+            nsnapshots=nsnapshots,
+            storm=cls._experiment_storm(),
+        )
+
+    @classmethod
+    def tiny(cls, nranks: int = 4, nsnapshots: int = 2) -> "ScenarioConfig":
+        """A unit-test-sized configuration."""
+        return cls(
+            ncores=nranks,
+            shape=(44, 44, 12),
+            blocks_per_subdomain=(2, 2, 1),
+            nsnapshots=nsnapshots,
+        )
+
+
+class ExperimentScenario:
+    """Dataset + decomposition + calibrated platform for one configuration."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.config = config
+        if config.storm is not None:
+            cm1 = CM1Config(shape=config.shape, seed=config.seed, storm=config.storm)
+        else:
+            cm1 = CM1Config(shape=config.shape, seed=config.seed)
+        self.dataset = CM1Dataset(cm1, nsnapshots=config.nsnapshots, cache=True)
+        # CM1 decomposes horizontally; keep the vertical column on one rank.
+        px, py = factorize_ranks(config.ncores, ndims=2)
+        self.decomposition = CartesianDecomposition(
+            global_shape=config.shape,
+            nranks=config.ncores,
+            blocks_per_subdomain=config.blocks_per_subdomain,
+            rank_dims_override=(px, py, 1),
+        )
+        self._blocks_cache: Dict[int, List[List[Block]]] = {}
+        self.platform = self._calibrated_platform()
+
+    # -- construction helpers ------------------------------------------------------
+
+    @classmethod
+    def blue_waters(cls, ncores: int = 64, nsnapshots: int = 10) -> "ExperimentScenario":
+        """Scenario matching one of the paper's two configurations."""
+        if ncores == 64:
+            return cls(ScenarioConfig.blue_waters_64(nsnapshots))
+        if ncores == 400:
+            return cls(ScenarioConfig.blue_waters_400(nsnapshots))
+        return cls(ScenarioConfig(ncores=ncores, nsnapshots=nsnapshots))
+
+    @classmethod
+    def tiny(cls, nranks: int = 4, nsnapshots: int = 2) -> "ExperimentScenario":
+        """Unit-test-sized scenario."""
+        return cls(ScenarioConfig.tiny(nranks=nranks, nsnapshots=nsnapshots))
+
+    # -- data access --------------------------------------------------------------
+
+    @property
+    def nranks(self) -> int:
+        """Number of virtual ranks of the scenario."""
+        return self.config.ncores
+
+    @property
+    def nblocks(self) -> int:
+        """Total number of blocks per iteration."""
+        return self.decomposition.nblocks
+
+    def blocks_for(self, snapshot_index: int) -> List[List[Block]]:
+        """Per-rank block lists of one snapshot (cached)."""
+        if snapshot_index not in self._blocks_cache:
+            self._blocks_cache[snapshot_index] = self.dataset.per_rank_blocks(
+                self.decomposition, snapshot_index, self.config.field_name
+            )
+        return self._blocks_cache[snapshot_index]
+
+    def iteration_blocks(self, count: Optional[int] = None) -> List[List[List[Block]]]:
+        """Blocks of ``count`` equally spaced snapshots (default: all)."""
+        count = self.config.nsnapshots if count is None else count
+        return [self.blocks_for(i) for i in self.dataset.select(count)]
+
+    def all_blocks(self, snapshot_index: int = 0) -> List[Block]:
+        """Flat list of every block of one snapshot."""
+        return [b for rank_blocks in self.blocks_for(snapshot_index) for b in rank_blocks]
+
+    # -- calibration ---------------------------------------------------------------
+
+    def reference_workload(self) -> Dict[str, int]:
+        """Work counts of the slowest rank at iteration 0, p=0, no redistribution."""
+        script = IsosurfaceScript(level=self.config.isosurface_level, mode="count")
+        per_rank = self.blocks_for(0)
+        worst = {"triangles": 0, "points": 0, "blocks": 0}
+        for blocks in per_rank:
+            result = script.process(blocks, iteration=0)
+            if result.ntriangles >= worst["triangles"]:
+                worst = {
+                    "triangles": result.ntriangles,
+                    "points": result.npoints,
+                    "blocks": len(blocks),
+                }
+        return worst
+
+    def _calibrated_platform(self) -> PlatformModel:
+        platform = PlatformModel.blue_waters(self.config.ncores)
+        worst = self.reference_workload()
+        if worst["triangles"] <= 0:
+            # Degenerate scenario (no isosurface at iteration 0): keep defaults.
+            return platform
+        render = calibrate_render_model(
+            max_rank_triangles=worst["triangles"],
+            max_rank_points=worst["points"],
+            max_rank_blocks=worst["blocks"],
+            target_seconds=render_baseline_seconds(self.config.ncores),
+        )
+        network = self._calibrated_network()
+        return PlatformModel(
+            name=platform.name,
+            ncores=platform.ncores,
+            network=network,
+            render=render,
+            metric_costs=dict(platform.metric_costs),
+        )
+
+    def _calibrated_network(self) -> NetworkCostModel:
+        """Effective network model anchored to the paper's redistribution cost.
+
+        The paper measures ~1.2 s (64 cores) / ~0.6 s (400 cores) to exchange
+        the full set of unreduced blocks.  Our synthetic blocks are much
+        smaller than the paper's 55x55x38 ones, so the physical Gemini
+        bandwidth would make the exchange vanish; instead the *exchange*
+        bandwidth is set so that a full shuffle of iteration 0 at 0 percent
+        reduced costs the paper's baseline — preserving the relative shape of
+        Figure 8 (communication time decreasing with the reduction
+        percentage) at the paper's absolute scale.  All other collectives
+        (notably the score sort) keep the physical parameters.
+        """
+        baselines = PAPER_BASELINES["redistribution_comm"]
+        target = baselines.get(self.config.ncores)
+        if target is None:
+            target = baselines[64] * 64.0 / float(self.config.ncores)
+        per_rank = self.blocks_for(0)
+        total_bytes = sum(b.nbytes for blocks in per_rank for b in blocks)
+        nranks = max(self.nranks, 2)
+        # Worst-rank send+receive volume of a full exchange (uniform estimate).
+        worst_bytes = 2.0 * total_bytes * (nranks - 1) / nranks / nranks
+        default = NetworkCostModel.blue_waters()
+        if worst_bytes <= 0 or target <= 0:
+            return default
+        return ExchangeCalibratedNetwork(
+            latency=default.latency,
+            bandwidth=default.bandwidth,
+            per_rank_overhead=default.per_rank_overhead,
+            exchange_bandwidth=worst_bytes / target,
+        )
+
+    # -- pipeline construction ------------------------------------------------------
+
+    def build_pipeline(
+        self,
+        metric: str = "VAR",
+        redistribution: str = "none",
+        adaptation: Optional[AdaptationConfig] = None,
+        render_mode: str = "count",
+    ) -> InSituPipeline:
+        """Build a pipeline wired to this scenario's platform and rank count."""
+        config = PipelineConfig(
+            metric=metric,
+            redistribution=redistribution,
+            isosurface_level=self.config.isosurface_level,
+            render_mode=render_mode,
+            field_name=self.config.field_name,
+            adaptation=adaptation
+            if adaptation is not None
+            else AdaptationConfig(enabled=False, target_seconds=1.0),
+            shuffle_seed=self.config.seed,
+        )
+        return InSituPipeline(config, self.platform, nranks=self.nranks)
+
+
+@lru_cache(maxsize=4)
+def cached_scenario(ncores: int, nsnapshots: int) -> ExperimentScenario:
+    """Memoised scenario construction shared by the benchmark modules.
+
+    Building a scenario generates the synthetic dataset and calibrates the
+    platform, which takes a few seconds at the 400-rank scale; the benchmarks
+    for different figures share the same scenario through this cache.
+    """
+    return ExperimentScenario.blue_waters(ncores=ncores, nsnapshots=nsnapshots)

@@ -1,0 +1,40 @@
+"""Rectilinear grids, domain decomposition, and data blocks.
+
+The vocabulary follows Section IV-A of the paper:
+
+* the **domain** is the full 3-D array produced by the simulation at one
+  iteration;
+* a **subdomain** is the subarray handled by one process;
+* a **block** is a subarray of a subdomain.  The number of blocks per
+  subdomain and the size of every block are constant across processes.
+"""
+
+from repro.grid.rectilinear import RectilinearGrid
+from repro.grid.block import Block, BlockExtent
+from repro.grid.domain import Domain, Subdomain
+from repro.grid.decomposition import (
+    CartesianDecomposition,
+    factorize_ranks,
+    split_axis,
+)
+from repro.grid.reduction import (
+    reduce_to_corners,
+    expand_from_corners,
+    reduce_block,
+    trilinear_sample,
+)
+
+__all__ = [
+    "RectilinearGrid",
+    "Block",
+    "BlockExtent",
+    "Domain",
+    "Subdomain",
+    "CartesianDecomposition",
+    "factorize_ranks",
+    "split_axis",
+    "reduce_to_corners",
+    "expand_from_corners",
+    "reduce_block",
+    "trilinear_sample",
+]

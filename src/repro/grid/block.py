@@ -1,0 +1,153 @@
+"""Blocks: the unit of scoring, reduction, and redistribution.
+
+A :class:`Block` carries a regular subarray of the domain (its *extent* in
+global index space) plus the field payload for that extent.  After the
+reduction step a block's payload is replaced by its 8 corner values
+(2×2×2) but its extent is unchanged, so downstream consumers can still
+reconstruct an interpolated approximation over the original region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BlockExtent:
+    """Half-open index extent ``[start, stop)`` of a block in global index space."""
+
+    start: Tuple[int, int, int]
+    stop: Tuple[int, int, int]
+
+    def __post_init__(self) -> None:
+        if len(self.start) != 3 or len(self.stop) != 3:
+            raise ValueError("start and stop must be 3-tuples")
+        start = tuple(int(v) for v in self.start)
+        stop = tuple(int(v) for v in self.stop)
+        for lo, hi in zip(start, stop):
+            if lo < 0 or hi <= lo:
+                raise ValueError(f"invalid extent: start={start} stop={stop}")
+        object.__setattr__(self, "start", start)
+        object.__setattr__(self, "stop", stop)
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        """Number of points covered along each axis."""
+        return tuple(hi - lo for lo, hi in zip(self.start, self.stop))
+
+    @property
+    def npoints(self) -> int:
+        """Total number of points covered by the extent."""
+        sx, sy, sz = self.shape
+        return sx * sy * sz
+
+    @property
+    def slices(self) -> Tuple[slice, slice, slice]:
+        """Index slices selecting this extent from a global array."""
+        return tuple(slice(lo, hi) for lo, hi in zip(self.start, self.stop))
+
+    def contains(self, point: Tuple[int, int, int]) -> bool:
+        """True if the global index ``point`` lies inside the extent."""
+        return all(lo <= p < hi for p, lo, hi in zip(point, self.start, self.stop))
+
+    def overlaps(self, other: "BlockExtent") -> bool:
+        """True if the two extents share at least one point."""
+        return all(
+            lo1 < hi2 and lo2 < hi1
+            for lo1, hi1, lo2, hi2 in zip(self.start, self.stop, other.start, other.stop)
+        )
+
+    def corner_indices(self) -> Tuple[Tuple[int, int, int], ...]:
+        """Global indices of the 8 corner points (last point is ``stop - 1``)."""
+        xs = (self.start[0], self.stop[0] - 1)
+        ys = (self.start[1], self.stop[1] - 1)
+        zs = (self.start[2], self.stop[2] - 1)
+        return tuple((i, j, k) for i in xs for j in ys for k in zs)
+
+
+@dataclass(frozen=True)
+class Block:
+    """A block of field data.
+
+    Attributes
+    ----------
+    block_id:
+        Globally unique integer id (dense, ``0 .. nblocks-1``).
+    extent:
+        Position of the block in global index space.
+    data:
+        Payload array.  Shape equals ``extent.shape`` for a full block, or
+        ``(2, 2, 2)`` (``(2, 2)`` for 2-D use) for a reduced block.
+    owner:
+        Rank currently responsible for this block.
+    home:
+        Rank that originally produced the block (before redistribution).
+    reduced:
+        Whether the payload has been reduced to corner values.
+    score:
+        Relevance score assigned by the scoring step, if any.
+    field_name:
+        Name of the field the payload belongs to (e.g. ``"dbz"``).
+    """
+
+    block_id: int
+    extent: BlockExtent
+    data: np.ndarray
+    owner: int = 0
+    home: int = 0
+    reduced: bool = False
+    score: Optional[float] = None
+    field_name: str = "dbz"
+
+    def __post_init__(self) -> None:
+        if self.block_id < 0:
+            raise ValueError(f"block_id must be >= 0, got {self.block_id}")
+        data = np.asarray(self.data)
+        if data.ndim != 3:
+            raise ValueError(f"block data must be 3-D, got shape {data.shape}")
+        if not self.reduced and tuple(data.shape) != self.extent.shape:
+            raise ValueError(
+                f"full block data shape {data.shape} does not match extent "
+                f"shape {self.extent.shape}"
+            )
+        if self.reduced and tuple(data.shape) != (2, 2, 2):
+            raise ValueError(
+                f"reduced block data must have shape (2, 2, 2), got {data.shape}"
+            )
+        object.__setattr__(self, "data", data)
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size in bytes (what redistribution actually transfers)."""
+        return int(self.data.nbytes)
+
+    @property
+    def npoints_payload(self) -> int:
+        """Number of points currently stored in the payload."""
+        return int(self.data.size)
+
+    @property
+    def npoints_full(self) -> int:
+        """Number of points the block covers in the domain (reduced or not)."""
+        return self.extent.npoints
+
+    def with_owner(self, owner: int) -> "Block":
+        """Return a copy of the block assigned to a different ``owner`` rank."""
+        if owner < 0:
+            raise ValueError(f"owner must be >= 0, got {owner}")
+        return replace(self, owner=int(owner))
+
+    def with_score(self, score: float) -> "Block":
+        """Return a copy of the block with ``score`` attached."""
+        return replace(self, score=float(score))
+
+    def with_data(self, data: np.ndarray, reduced: bool) -> "Block":
+        """Return a copy of the block carrying a new payload."""
+        return replace(self, data=np.asarray(data), reduced=bool(reduced))
+
+    def value_range(self) -> Tuple[float, float]:
+        """(min, max) of the payload values."""
+        return (float(self.data.min()), float(self.data.max()))

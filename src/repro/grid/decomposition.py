@@ -1,0 +1,277 @@
+"""Cartesian domain decomposition into subdomains and blocks.
+
+CM1 decomposes its fixed rectilinear domain regularly across processes,
+independently of content (Section II-A).  Each process's subdomain is further
+subdivided into a constant number of equally-sized blocks; those blocks are
+the unit of scoring, reduction, and redistribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.grid.block import Block, BlockExtent
+
+
+def factorize_ranks(nranks: int, ndims: int = 3) -> Tuple[int, ...]:
+    """Split ``nranks`` into ``ndims`` factors as close to each other as possible.
+
+    This mirrors ``MPI_Dims_create``: the product of the returned factors is
+    exactly ``nranks`` and the factors are non-increasing.
+
+    Examples
+    --------
+    >>> factorize_ranks(64)
+    (4, 4, 4)
+    >>> factorize_ranks(400)
+    (10, 8, 5)
+    """
+    if nranks < 1:
+        raise ValueError(f"nranks must be >= 1, got {nranks}")
+    if ndims < 1:
+        raise ValueError(f"ndims must be >= 1, got {ndims}")
+    dims = [1] * ndims
+    remaining = nranks
+    # Greedy assignment of prime factors (largest first) to the smallest dim.
+    primes: List[int] = []
+    n = remaining
+    f = 2
+    while f * f <= n:
+        while n % f == 0:
+            primes.append(f)
+            n //= f
+        f += 1
+    if n > 1:
+        primes.append(n)
+    for p in sorted(primes, reverse=True):
+        smallest = int(np.argmin(dims))
+        dims[smallest] *= p
+    return tuple(sorted(dims, reverse=True))
+
+
+def split_axis(npoints: int, nparts: int) -> List[Tuple[int, int]]:
+    """Split ``npoints`` indices into ``nparts`` contiguous [start, stop) ranges.
+
+    The first ``npoints % nparts`` parts get one extra point, mirroring the
+    standard block distribution used by regular domain decompositions.
+    """
+    if nparts < 1:
+        raise ValueError(f"nparts must be >= 1, got {nparts}")
+    if npoints < nparts:
+        raise ValueError(f"cannot split {npoints} points into {nparts} parts")
+    base = npoints // nparts
+    extra = npoints % nparts
+    ranges = []
+    start = 0
+    for i in range(nparts):
+        size = base + (1 if i < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+@dataclass(frozen=True)
+class CartesianDecomposition:
+    """Regular decomposition of a global domain into subdomains and blocks.
+
+    Parameters
+    ----------
+    global_shape:
+        Number of grid points of the whole domain along x, y, z.
+    nranks:
+        Number of processes.
+    blocks_per_subdomain:
+        Number of blocks each subdomain is divided into along x, y, z.
+        Constant across processes, as required by the paper.
+    rank_dims:
+        Optional explicit process-grid dimensions (product must equal
+        ``nranks``).  CM1 decomposes its domain horizontally only, so the
+        experiment drivers pass e.g. ``(8, 8, 1)`` for 64 ranks; when omitted
+        the ranks are factorised over all three axes.
+    """
+
+    global_shape: Tuple[int, int, int]
+    nranks: int
+    blocks_per_subdomain: Tuple[int, int, int] = (2, 2, 1)
+    rank_dims_override: Tuple[int, int, int] = None
+
+    def __post_init__(self) -> None:
+        gs = tuple(int(v) for v in self.global_shape)
+        bps = tuple(int(v) for v in self.blocks_per_subdomain)
+        if len(gs) != 3 or any(v < 1 for v in gs):
+            raise ValueError(f"invalid global_shape: {self.global_shape}")
+        if len(bps) != 3 or any(v < 1 for v in bps):
+            raise ValueError(f"invalid blocks_per_subdomain: {self.blocks_per_subdomain}")
+        if self.nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {self.nranks}")
+        object.__setattr__(self, "global_shape", gs)
+        object.__setattr__(self, "blocks_per_subdomain", bps)
+        if self.rank_dims_override is not None:
+            dims = tuple(int(v) for v in self.rank_dims_override)
+            if len(dims) != 3 or any(v < 1 for v in dims):
+                raise ValueError(f"invalid rank_dims_override: {self.rank_dims_override}")
+            if dims[0] * dims[1] * dims[2] != self.nranks:
+                raise ValueError(
+                    f"rank_dims_override {dims} does not multiply to nranks={self.nranks}"
+                )
+            object.__setattr__(self, "rank_dims_override", dims)
+            object.__setattr__(self, "_rank_dims", dims)
+        else:
+            object.__setattr__(self, "_rank_dims", factorize_ranks(self.nranks))
+        for axis in range(3):
+            nparts = self._rank_dims[axis] * bps[axis]
+            if gs[axis] < nparts:
+                raise ValueError(
+                    f"axis {axis}: {gs[axis]} points cannot be split into "
+                    f"{nparts} block columns"
+                )
+
+    # -- rank-level layout -------------------------------------------------
+
+    @property
+    def rank_dims(self) -> Tuple[int, int, int]:
+        """Number of subdomains along each axis (product == nranks)."""
+        return self._rank_dims  # type: ignore[attr-defined]
+
+    def rank_coords(self, rank: int) -> Tuple[int, int, int]:
+        """Cartesian coordinates of ``rank`` in the process grid (row-major)."""
+        self._check_rank(rank)
+        px, py, pz = self.rank_dims
+        return (rank // (py * pz), (rank // pz) % py, rank % pz)
+
+    def rank_from_coords(self, coords: Tuple[int, int, int]) -> int:
+        """Inverse of :meth:`rank_coords`."""
+        px, py, pz = self.rank_dims
+        cx, cy, cz = coords
+        if not (0 <= cx < px and 0 <= cy < py and 0 <= cz < pz):
+            raise ValueError(f"coords {coords} out of process grid {self.rank_dims}")
+        return cx * py * pz + cy * pz + cz
+
+    def subdomain_extent(self, rank: int) -> BlockExtent:
+        """Global index extent of the subdomain owned by ``rank``."""
+        coords = self.rank_coords(rank)
+        starts, stops = [], []
+        for axis in range(3):
+            ranges = split_axis(self.global_shape[axis], self.rank_dims[axis])
+            lo, hi = ranges[coords[axis]]
+            starts.append(lo)
+            stops.append(hi)
+        return BlockExtent(tuple(starts), tuple(stops))
+
+    # -- block-level layout --------------------------------------------------
+
+    @property
+    def blocks_per_rank(self) -> int:
+        """Number of blocks each rank owns initially."""
+        bx, by, bz = self.blocks_per_subdomain
+        return bx * by * bz
+
+    @property
+    def nblocks(self) -> int:
+        """Total number of blocks in the domain."""
+        return self.blocks_per_rank * self.nranks
+
+    def block_extents(self, rank: int) -> List[BlockExtent]:
+        """Extents of the blocks inside ``rank``'s subdomain (local ordering)."""
+        sub = self.subdomain_extent(rank)
+        bx, by, bz = self.blocks_per_subdomain
+        x_ranges = split_axis(sub.shape[0], bx)
+        y_ranges = split_axis(sub.shape[1], by)
+        z_ranges = split_axis(sub.shape[2], bz)
+        extents = []
+        for xr in x_ranges:
+            for yr in y_ranges:
+                for zr in z_ranges:
+                    extents.append(
+                        BlockExtent(
+                            (sub.start[0] + xr[0], sub.start[1] + yr[0], sub.start[2] + zr[0]),
+                            (sub.start[0] + xr[1], sub.start[1] + yr[1], sub.start[2] + zr[1]),
+                        )
+                    )
+        return extents
+
+    def block_ids(self, rank: int) -> List[int]:
+        """Global ids of the blocks initially owned by ``rank``."""
+        self._check_rank(rank)
+        base = rank * self.blocks_per_rank
+        return list(range(base, base + self.blocks_per_rank))
+
+    def owner_of_block(self, block_id: int) -> int:
+        """Rank that initially owns ``block_id``."""
+        if not (0 <= block_id < self.nblocks):
+            raise ValueError(f"block_id {block_id} out of range [0, {self.nblocks})")
+        return block_id // self.blocks_per_rank
+
+    def block_extent(self, block_id: int) -> BlockExtent:
+        """Extent of ``block_id`` in global index space."""
+        rank = self.owner_of_block(block_id)
+        local = block_id - rank * self.blocks_per_rank
+        return self.block_extents(rank)[local]
+
+    def all_block_extents(self) -> Dict[int, BlockExtent]:
+        """Mapping block id -> extent for the whole domain."""
+        out: Dict[int, BlockExtent] = {}
+        for rank in range(self.nranks):
+            for bid, ext in zip(self.block_ids(rank), self.block_extents(rank)):
+                out[bid] = ext
+        return out
+
+    # -- data extraction -------------------------------------------------------
+
+    def extract_blocks(
+        self, rank: int, global_field: np.ndarray, field_name: str = "dbz"
+    ) -> List[Block]:
+        """Cut ``rank``'s blocks out of a full-domain field array."""
+        field = np.asarray(global_field)
+        if tuple(field.shape) != self.global_shape:
+            raise ValueError(
+                f"field shape {field.shape} does not match domain {self.global_shape}"
+            )
+        blocks = []
+        for bid, ext in zip(self.block_ids(rank), self.block_extents(rank)):
+            blocks.append(
+                Block(
+                    block_id=bid,
+                    extent=ext,
+                    data=np.ascontiguousarray(field[ext.slices]),
+                    owner=rank,
+                    home=rank,
+                    field_name=field_name,
+                )
+            )
+        return blocks
+
+    def extract_subdomain(self, rank: int, global_field: np.ndarray) -> np.ndarray:
+        """Return a copy of ``rank``'s subdomain from a full-domain field array."""
+        field = np.asarray(global_field)
+        if tuple(field.shape) != self.global_shape:
+            raise ValueError(
+                f"field shape {field.shape} does not match domain {self.global_shape}"
+            )
+        return np.ascontiguousarray(field[self.subdomain_extent(rank).slices])
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.nranks):
+            raise ValueError(f"rank {rank} out of range [0, {self.nranks})")
+
+    def validate_coverage(self) -> bool:
+        """Check that blocks tile the domain exactly (no gaps, no overlaps).
+
+        Intended for tests; O(nblocks^2) in the worst case for the overlap
+        check so only use on small decompositions.
+        """
+        extents = list(self.all_block_extents().values())
+        total = sum(e.npoints for e in extents)
+        nx, ny, nz = self.global_shape
+        if total != nx * ny * nz:
+            return False
+        for i, a in enumerate(extents):
+            for b in extents[i + 1 :]:
+                if a.overlaps(b):
+                    return False
+        return True

@@ -1,0 +1,17 @@
+"""Block I/O: a BIL-like store for pre-generated simulation iterations.
+
+The paper avoids re-running CM1's expensive computation phase for every
+experiment by replaying a stored dataset (572 iterations written during a
+3-day Blue Waters run) through the in situ kernel, using the Block I/O
+Library (BIL) to reload it.  This package plays the same role: a
+:class:`DatasetStore` persists iterations of :class:`~repro.grid.domain.Domain`
+snapshots to disk (one compressed ``.npz`` per iteration plus a JSON
+manifest), and :class:`DatasetReplayer` feeds them back — optionally
+subdomain-by-subdomain the way a parallel collective read would.
+"""
+
+from repro.io.manifest import DatasetManifest, IterationRecord
+from repro.io.store import DatasetStore
+from repro.io.replay import DatasetReplayer
+
+__all__ = ["DatasetManifest", "IterationRecord", "DatasetStore", "DatasetReplayer"]

@@ -1,0 +1,117 @@
+"""Dataset manifest: what iterations and fields a stored dataset contains."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+MANIFEST_FILENAME = "manifest.json"
+FORMAT_VERSION = 1
+
+
+@dataclass
+class IterationRecord:
+    """One stored iteration."""
+
+    iteration: int
+    filename: str
+    fields: List[str]
+    nbytes: int = 0
+
+    def validate(self) -> None:
+        """Basic consistency checks; raises ``ValueError`` on problems."""
+        if self.iteration < 0:
+            raise ValueError(f"iteration must be >= 0, got {self.iteration}")
+        if not self.filename:
+            raise ValueError("filename must not be empty")
+        if not self.fields:
+            raise ValueError("an iteration record must list at least one field")
+
+
+@dataclass
+class DatasetManifest:
+    """Manifest describing a stored dataset.
+
+    Attributes
+    ----------
+    shape:
+        Grid shape shared by every field of every iteration.
+    grid_axes_file:
+        Name of the ``.npz`` file holding the rectilinear axes (x, y, z).
+    iterations:
+        Records of the stored iterations, in storage order.
+    metadata:
+        Free-form provenance (config used to generate the data, seed, ...).
+    """
+
+    shape: Tuple[int, int, int]
+    grid_axes_file: str = "grid_axes.npz"
+    iterations: List[IterationRecord] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+    version: int = FORMAT_VERSION
+
+    def add_iteration(self, record: IterationRecord) -> None:
+        """Append a record, enforcing strictly increasing iteration numbers."""
+        record.validate()
+        if self.iterations and record.iteration <= self.iterations[-1].iteration:
+            raise ValueError(
+                f"iteration {record.iteration} is not greater than the last stored "
+                f"iteration {self.iterations[-1].iteration}"
+            )
+        self.iterations.append(record)
+
+    def find(self, iteration: int) -> Optional[IterationRecord]:
+        """Return the record for ``iteration`` or ``None``."""
+        for rec in self.iterations:
+            if rec.iteration == iteration:
+                return rec
+        return None
+
+    @property
+    def niterations(self) -> int:
+        """Number of stored iterations."""
+        return len(self.iterations)
+
+    # -- (de)serialisation -----------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialise to a JSON string."""
+        payload = asdict(self)
+        payload["shape"] = list(self.shape)
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DatasetManifest":
+        """Parse a manifest from its JSON representation."""
+        payload = json.loads(text)
+        version = int(payload.get("version", 0))
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported manifest version {version}, expected {FORMAT_VERSION}"
+            )
+        iterations = [IterationRecord(**rec) for rec in payload.get("iterations", [])]
+        return cls(
+            shape=tuple(int(v) for v in payload["shape"]),
+            grid_axes_file=payload.get("grid_axes_file", "grid_axes.npz"),
+            iterations=iterations,
+            metadata=payload.get("metadata", {}),
+            version=version,
+        )
+
+    def save(self, directory: Path) -> Path:
+        """Write the manifest into ``directory`` and return its path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / MANIFEST_FILENAME
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, directory: Path) -> "DatasetManifest":
+        """Read the manifest stored in ``directory``."""
+        path = Path(directory) / MANIFEST_FILENAME
+        if not path.exists():
+            raise FileNotFoundError(f"no dataset manifest at {path}")
+        return cls.from_json(path.read_text())

@@ -1,0 +1,71 @@
+"""Replaying a stored dataset through the in situ pipeline.
+
+The paper evaluates its pipeline on 10 (or 30) iterations *equally spaced in
+time* out of a 572-iteration stored dataset.  :class:`DatasetReplayer`
+reproduces that access pattern: pick ``n`` equally spaced iterations and hand
+each one to the pipeline, either as a full :class:`Domain` or already split
+into per-rank block lists (the way BIL's collective read would deliver it).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.grid.block import Block
+from repro.grid.decomposition import CartesianDecomposition
+from repro.grid.domain import Domain
+from repro.io.store import DatasetStore
+
+
+def equally_spaced(available: Sequence[int], count: int) -> List[int]:
+    """Pick ``count`` equally spaced entries from ``available`` (keeping order).
+
+    Mirrors the paper's "10 iterations, equally spaced in time" selection.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    available = list(available)
+    if not available:
+        raise ValueError("no iterations available")
+    if count >= len(available):
+        return list(available)
+    idx = np.linspace(0, len(available) - 1, count).round().astype(int)
+    # De-duplicate while preserving order (possible when count ~ len).
+    seen = dict.fromkeys(int(i) for i in idx)
+    return [available[i] for i in seen]
+
+
+class DatasetReplayer:
+    """Feeds stored iterations to the in situ visualization kernel."""
+
+    def __init__(self, store: DatasetStore, field_name: str = "dbz") -> None:
+        self.store = store
+        self.field_name = field_name
+
+    def select_iterations(self, count: int) -> List[int]:
+        """Equally spaced selection of ``count`` stored iterations."""
+        return equally_spaced(self.store.iterations(), count)
+
+    def domains(self, count: int) -> Iterator[Domain]:
+        """Yield ``count`` equally spaced stored iterations as domains."""
+        for iteration in self.select_iterations(count):
+            yield self.store.load_iteration(iteration, fields=[self.field_name])
+
+    def per_rank_blocks(
+        self,
+        decomposition: CartesianDecomposition,
+        count: int,
+    ) -> Iterator[List[List[Block]]]:
+        """Yield, per selected iteration, the list of per-rank block lists.
+
+        This mimics a BIL-style collective read where each rank ends up with
+        the blocks of its own subdomain.
+        """
+        for domain in self.domains(count):
+            field = domain.get_field(self.field_name)
+            yield [
+                decomposition.extract_blocks(rank, field, self.field_name)
+                for rank in range(decomposition.nranks)
+            ]

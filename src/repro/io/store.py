@@ -1,0 +1,115 @@
+"""On-disk dataset store (one compressed ``.npz`` per iteration)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.grid.domain import Domain
+from repro.grid.rectilinear import RectilinearGrid
+from repro.io.manifest import DatasetManifest, IterationRecord
+
+
+class DatasetStore:
+    """Persist and reload :class:`~repro.grid.domain.Domain` iterations.
+
+    Layout::
+
+        <root>/
+            manifest.json
+            grid_axes.npz            # x, y, z axes
+            iter_0000005000.npz      # one file per iteration, fields as arrays
+
+    The store is append-only: iterations must be written in increasing order,
+    mirroring how a running simulation emits them.
+    """
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self._manifest: Optional[DatasetManifest] = None
+
+    # -- writing -------------------------------------------------------------
+
+    def create(self, grid: RectilinearGrid, metadata: Optional[Dict] = None) -> None:
+        """Initialise an empty store for domains on ``grid``."""
+        if self.exists():
+            raise FileExistsError(f"a dataset already exists at {self.root}")
+        self.root.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(self.root / "grid_axes.npz", x=grid.x, y=grid.y, z=grid.z)
+        self._manifest = DatasetManifest(shape=grid.shape, metadata=metadata or {})
+        self._manifest.save(self.root)
+
+    def append(self, domain: Domain) -> IterationRecord:
+        """Append one iteration to the store and update the manifest."""
+        manifest = self.manifest()
+        if tuple(domain.shape) != tuple(manifest.shape):
+            raise ValueError(
+                f"domain shape {domain.shape} does not match stored shape {manifest.shape}"
+            )
+        if not domain.fields:
+            raise ValueError("cannot store a domain with no fields")
+        filename = f"iter_{domain.iteration:010d}.npz"
+        path = self.root / filename
+        arrays = {name: np.asarray(arr, dtype=np.float32) for name, arr in domain.fields.items()}
+        np.savez_compressed(path, **arrays)
+        record = IterationRecord(
+            iteration=domain.iteration,
+            filename=filename,
+            fields=sorted(arrays),
+            nbytes=int(path.stat().st_size),
+        )
+        manifest.add_iteration(record)
+        manifest.save(self.root)
+        return record
+
+    # -- reading --------------------------------------------------------------
+
+    def exists(self) -> bool:
+        """True if a manifest is present under the store root."""
+        return (self.root / "manifest.json").exists()
+
+    def manifest(self) -> DatasetManifest:
+        """Return (and cache) the manifest."""
+        if self._manifest is None:
+            self._manifest = DatasetManifest.load(self.root)
+        return self._manifest
+
+    def grid(self) -> RectilinearGrid:
+        """Reload the rectilinear grid axes."""
+        manifest = self.manifest()
+        with np.load(self.root / manifest.grid_axes_file) as data:
+            return RectilinearGrid(data["x"], data["y"], data["z"])
+
+    def iterations(self) -> List[int]:
+        """Iteration numbers available in the store."""
+        return [rec.iteration for rec in self.manifest().iterations]
+
+    def load_iteration(
+        self, iteration: int, fields: Optional[Iterable[str]] = None
+    ) -> Domain:
+        """Load one stored iteration as a :class:`Domain`.
+
+        Parameters
+        ----------
+        iteration:
+            Iteration number (as recorded, not a positional index).
+        fields:
+            Optional subset of field names to load; all stored fields when
+            omitted.
+        """
+        manifest = self.manifest()
+        record = manifest.find(iteration)
+        if record is None:
+            raise KeyError(f"iteration {iteration} not present in {self.root}")
+        wanted = set(fields) if fields is not None else set(record.fields)
+        missing = wanted - set(record.fields)
+        if missing:
+            raise KeyError(f"fields {sorted(missing)} not stored for iteration {iteration}")
+        grid = self.grid()
+        out: Dict[str, np.ndarray] = {}
+        with np.load(self.root / record.filename) as data:
+            for name in sorted(wanted):
+                out[name] = np.asarray(data[name])
+        return Domain(grid=grid, fields=out, iteration=iteration)

@@ -1,0 +1,61 @@
+"""Block-relevance scoring metrics.
+
+Section IV-B of the paper introduces a family of fast, generic procedures that
+score a block of data by its variability, using statistics, information
+theory, linear algebra, and floating-point compressors.  The representative
+subset the paper reports on is reproduced here under the same names:
+
+========  =====================================================
+``RANGE``  max - min of the block                     (:class:`RangeMetric`)
+``VAR``    variance of the block                      (:class:`VarianceMetric`)
+``ITL``    histogram (Shannon) entropy                (:class:`HistogramEntropyMetric`)
+``LEA``    lightweight bytewise entropy analyzer      (:class:`BytewiseEntropyMetric`)
+``FPZIP``  floating-point compression ratio           (:class:`CompressionRatioMetric`)
+``TRILIN`` trilinear interpolation error              (:class:`TrilinearErrorMetric`)
+========  =====================================================
+
+plus the variants the paper mentions but does not plot (ZFP- and LZ-based
+scorers, local entropy, multivariate combinations).  All metrics return
+"higher = more relevant" scores.  :class:`MetricRegistry` provides name-based
+construction, and :mod:`repro.metrics.comparison` / :mod:`repro.metrics.scoremap`
+implement the rank-agreement and scoremap analyses of Figures 3 and 4.
+"""
+
+from repro.metrics.base import ScoreMetric, MetricCost
+from repro.metrics.statistics import RangeMetric, VarianceMetric, StdDevMetric
+from repro.metrics.entropy import HistogramEntropyMetric, LocalEntropyMetric
+from repro.metrics.bytewise import BytewiseEntropyMetric
+from repro.metrics.interpolation import TrilinearErrorMetric
+from repro.metrics.compression import CompressionRatioMetric
+from repro.metrics.multifield import MultiFieldScorer
+from repro.metrics.registry import MetricRegistry, default_registry, create_metric
+from repro.metrics.scoremap import ScoreMap, compute_scoremap
+from repro.metrics.comparison import (
+    MetricComparison,
+    rank_blocks,
+    compare_metrics,
+    spearman_rank_correlation,
+)
+
+__all__ = [
+    "ScoreMetric",
+    "MetricCost",
+    "RangeMetric",
+    "VarianceMetric",
+    "StdDevMetric",
+    "HistogramEntropyMetric",
+    "LocalEntropyMetric",
+    "BytewiseEntropyMetric",
+    "TrilinearErrorMetric",
+    "CompressionRatioMetric",
+    "MultiFieldScorer",
+    "MetricRegistry",
+    "default_registry",
+    "create_metric",
+    "ScoreMap",
+    "compute_scoremap",
+    "MetricComparison",
+    "rank_blocks",
+    "compare_metrics",
+    "spearman_rank_correlation",
+]

@@ -1,0 +1,66 @@
+"""Metric interface and cost description."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.utils.validation import ensure_3d, ensure_float_array
+
+
+@dataclass(frozen=True)
+class MetricCost:
+    """Analytic cost of evaluating a metric.
+
+    The cost is modelled as ``seconds = per_point * npoints + per_block`` per
+    block, per core, in Blue Waters seconds.  The per-point coefficients are
+    calibrated from the paper's Table I (see
+    :mod:`repro.perfmodel.calibration`).
+    """
+
+    per_point: float
+    per_block: float = 0.0
+
+    def seconds(self, npoints: int) -> float:
+        """Modelled seconds to score one block of ``npoints`` values."""
+        if npoints < 0:
+            raise ValueError(f"npoints must be >= 0, got {npoints}")
+        return self.per_point * npoints + self.per_block
+
+
+class ScoreMetric(abc.ABC):
+    """A block-relevance scoring function.
+
+    Higher scores mean "more relevant / keep this block"; the reduction step
+    removes the blocks with the *lowest* scores.
+    """
+
+    #: Registry name (uppercase, as the paper labels them: RANGE, VAR, ...).
+    name: str = "METRIC"
+    #: Modelled evaluation cost (Blue Waters seconds); see :class:`MetricCost`.
+    cost: MetricCost = MetricCost(per_point=5.0e-8)
+
+    @abc.abstractmethod
+    def score_block(self, data: np.ndarray) -> float:
+        """Score one 3-D block of values."""
+
+    def score_blocks(self, blocks: Iterable[np.ndarray]) -> List[float]:
+        """Score a sequence of blocks (override for vectorised variants)."""
+        return [self.score_block(b) for b in blocks]
+
+    def modelled_seconds(self, npoints: int) -> float:
+        """Modelled cost to score one block of ``npoints`` values."""
+        return self.cost.seconds(npoints)
+
+    # -- shared validation ---------------------------------------------------
+
+    @staticmethod
+    def _prepare(data: np.ndarray) -> np.ndarray:
+        """Validate a block and return it as a float ndarray."""
+        return ensure_float_array(ensure_3d(data, "block"), "block")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.__class__.__name__}(name={self.name!r})"

@@ -1,0 +1,129 @@
+"""Pairwise rank-agreement analysis of metrics (Fig. 3).
+
+The paper compares metrics by the *ordering* they induce on blocks: for each
+pair of metrics, every block is plotted at (rank under metric A, rank under
+metric B).  Diagonal clouds mean the metrics agree; the characteristic lower-
+left diagonal segment corresponds to the quiet blocks all metrics agree are
+uninteresting (they share the metric's minimum score and are therefore
+ordered by block id under every metric — the paper's tie-break rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.metrics.base import ScoreMetric
+
+
+def rank_blocks(scores: Mapping[int, float]) -> Dict[int, int]:
+    """Rank blocks by ascending (score, id); returns block id -> rank.
+
+    Rank 0 is the least relevant block.  Ties in score are broken by block id,
+    exactly as the pipeline's global sort does.
+    """
+    ordered = sorted(scores.items(), key=lambda kv: (kv[1], kv[0]))
+    return {block_id: rank for rank, (block_id, _) in enumerate(ordered)}
+
+
+def spearman_rank_correlation(ranks_a: Sequence[int], ranks_b: Sequence[int]) -> float:
+    """Spearman correlation between two rank assignments of the same blocks."""
+    a = np.asarray(ranks_a, dtype=np.float64)
+    b = np.asarray(ranks_b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"rank arrays differ in shape: {a.shape} vs {b.shape}")
+    if a.size < 2:
+        raise ValueError("need at least two blocks to correlate")
+    a = a - a.mean()
+    b = b - b.mean()
+    denom = np.sqrt((a**2).sum() * (b**2).sum())
+    if denom == 0:
+        return 0.0
+    return float((a * b).sum() / denom)
+
+
+@dataclass
+class MetricComparison:
+    """Rank agreement between one pair of metrics."""
+
+    metric_a: str
+    metric_b: str
+    #: (rank under A, rank under B) for every block, ordered by block id.
+    rank_pairs: np.ndarray
+    spearman: float
+
+    @property
+    def nblocks(self) -> int:
+        """Number of blocks compared."""
+        return int(self.rank_pairs.shape[0])
+
+    def agreement_fraction(self, tolerance_fraction: float = 0.1) -> float:
+        """Fraction of blocks whose two ranks differ by less than a tolerance.
+
+        ``tolerance_fraction`` is expressed as a fraction of the number of
+        blocks (0.1 = ranks within 10% of each other).
+        """
+        if not (0.0 < tolerance_fraction <= 1.0):
+            raise ValueError(
+                f"tolerance_fraction must be in (0, 1], got {tolerance_fraction}"
+            )
+        tol = tolerance_fraction * self.nblocks
+        diffs = np.abs(self.rank_pairs[:, 0] - self.rank_pairs[:, 1])
+        return float(np.mean(diffs <= tol))
+
+
+def compare_metrics(
+    per_metric_scores: Mapping[str, Mapping[int, float]]
+) -> List[MetricComparison]:
+    """Build the pairwise comparisons for all metric pairs (15 pairs for 6 metrics).
+
+    Parameters
+    ----------
+    per_metric_scores:
+        Mapping metric name -> (block id -> score).  All metrics must have
+        scored the same set of blocks.
+    """
+    names = list(per_metric_scores)
+    if len(names) < 2:
+        raise ValueError("need at least two metrics to compare")
+    block_sets = {name: set(scores) for name, scores in per_metric_scores.items()}
+    reference = block_sets[names[0]]
+    for name, ids in block_sets.items():
+        if ids != reference:
+            raise ValueError(f"metric {name!r} scored a different set of blocks")
+    block_ids = sorted(reference)
+    ranks = {
+        name: rank_blocks(per_metric_scores[name]) for name in names
+    }
+    comparisons = []
+    for name_a, name_b in combinations(names, 2):
+        pairs = np.asarray(
+            [[ranks[name_a][bid], ranks[name_b][bid]] for bid in block_ids],
+            dtype=np.int64,
+        )
+        rho = spearman_rank_correlation(pairs[:, 0], pairs[:, 1])
+        comparisons.append(
+            MetricComparison(
+                metric_a=name_a, metric_b=name_b, rank_pairs=pairs, spearman=rho
+            )
+        )
+    return comparisons
+
+
+def score_blocks_with_metrics(
+    metrics: Sequence[ScoreMetric], blocks: Sequence
+) -> Dict[str, Dict[int, float]]:
+    """Score the same blocks with several metrics.
+
+    ``blocks`` is a sequence of :class:`~repro.grid.block.Block`.  Returns the
+    nested mapping expected by :func:`compare_metrics`.
+    """
+    out: Dict[str, Dict[int, float]] = {}
+    for metric in metrics:
+        out[metric.name] = {
+            block.block_id: metric.score_block(block.data) for block in blocks
+        }
+    return out

@@ -1,0 +1,85 @@
+"""Compressor-based scoring metrics (FPZIP / ZFP / LZ).
+
+The intuition (Section IV-B-e): the compressed size of a block correlates with
+its information content, and compressors need no tuning (no histogram range or
+bin count).  The score is the *inverse compression ratio* — compressed size
+divided by original size — so that hard-to-compress (information-rich) blocks
+get high scores and smooth, compressible blocks get low scores.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.compress.base import Compressor
+from repro.compress.fpzip_like import FpzipLikeCompressor
+from repro.compress.lz_like import LzLikeCompressor
+from repro.compress.zfp_like import ZfpLikeCompressor
+from repro.metrics.base import MetricCost, ScoreMetric
+
+#: Calibrated per-point costs (Blue Waters seconds) for each compressor-based
+#: scorer; FPZIP from Table I, the others assumed on the same order.
+_COMPRESSOR_COSTS = {
+    "fpzip": MetricCost(per_point=3.08e-7),
+    "zfp": MetricCost(per_point=2.6e-7),
+    "lz": MetricCost(per_point=3.5e-7),
+}
+
+
+class CompressionRatioMetric(ScoreMetric):
+    """Score = compressed size / original size (inverse compression ratio).
+
+    Parameters
+    ----------
+    compressor:
+        Any :class:`~repro.compress.base.Compressor`; defaults to the
+        fpzip-like coder, which is the variant whose results the paper plots.
+    subsample:
+        Optional stride applied to the block before compression to bound the
+        scoring cost of the pure-Python coders on large blocks (``None``
+        disables subsampling).  The stride sampling is deterministic, so
+        scores remain comparable across blocks of equal size.
+    """
+
+    def __init__(
+        self,
+        compressor: Optional[Compressor] = None,
+        subsample: Optional[int] = None,
+    ) -> None:
+        self.compressor = compressor or FpzipLikeCompressor()
+        if subsample is not None and subsample < 1:
+            raise ValueError(f"subsample must be >= 1 or None, got {subsample}")
+        self.subsample = subsample
+        self.name = self.compressor.name.upper()
+        self.cost = _COMPRESSOR_COSTS.get(
+            self.compressor.name, MetricCost(per_point=3.0e-7)
+        )
+
+    def score_block(self, data: np.ndarray) -> float:
+        arr = self._prepare(data)
+        if self.subsample is not None and self.subsample > 1:
+            s = self.subsample
+            arr = np.ascontiguousarray(arr[::s, ::s, ::s])
+        result = self.compressor.compress(arr)
+        if result.original_nbytes == 0:
+            return 0.0
+        return float(result.compressed_nbytes / result.original_nbytes)
+
+    # -- convenience constructors ------------------------------------------
+
+    @classmethod
+    def fpzip(cls, subsample: Optional[int] = None) -> "CompressionRatioMetric":
+        """FPZIP-based scorer (the variant reported in the paper's figures)."""
+        return cls(FpzipLikeCompressor(), subsample=subsample)
+
+    @classmethod
+    def zfp(cls, precision: int = 16, subsample: Optional[int] = None) -> "CompressionRatioMetric":
+        """ZFP-based scorer (paper: "results similar to FPZIP")."""
+        return cls(ZfpLikeCompressor(precision=precision), subsample=subsample)
+
+    @classmethod
+    def lz(cls, subsample: Optional[int] = None) -> "CompressionRatioMetric":
+        """LZ/binary-mask-based scorer (paper: "results similar to FPZIP")."""
+        return cls(LzLikeCompressor(), subsample=subsample)

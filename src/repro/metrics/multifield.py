@@ -1,0 +1,85 @@
+"""Multivariate scoring (the paper's "multivariate scores" future-work item).
+
+A :class:`MultiFieldScorer` combines per-field scores of the *same block
+extent* across several fields (e.g. reflectivity plus vertical wind), either
+as a weighted sum of normalised scores or as the maximum.  Normalisation is
+per-field max over the blocks of the current iteration, so fields with very
+different dynamic ranges contribute comparably.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.metrics.base import ScoreMetric
+
+
+class MultiFieldScorer:
+    """Combine the scores of several fields into one per-block score.
+
+    Parameters
+    ----------
+    metrics:
+        Mapping field name -> :class:`ScoreMetric` used for that field.
+    weights:
+        Optional mapping field name -> weight (default 1.0 each).
+    mode:
+        ``"sum"`` (weighted sum of normalised scores, default) or ``"max"``.
+    """
+
+    def __init__(
+        self,
+        metrics: Mapping[str, ScoreMetric],
+        weights: Mapping[str, float] | None = None,
+        mode: str = "sum",
+    ) -> None:
+        if not metrics:
+            raise ValueError("at least one field metric is required")
+        if mode not in ("sum", "max"):
+            raise ValueError(f"mode must be 'sum' or 'max', got {mode!r}")
+        self.metrics = dict(metrics)
+        self.weights = {name: 1.0 for name in self.metrics}
+        if weights:
+            unknown = set(weights) - set(self.metrics)
+            if unknown:
+                raise ValueError(f"weights given for unknown fields: {sorted(unknown)}")
+            self.weights.update({k: float(v) for k, v in weights.items()})
+        self.mode = mode
+
+    def score_blocks(
+        self, per_field_blocks: Mapping[str, Sequence[np.ndarray]]
+    ) -> List[float]:
+        """Score blocks given per-field lists of equal length.
+
+        ``per_field_blocks[field][i]`` must be the data of block ``i`` in that
+        field.  Returns one combined score per block index.
+        """
+        missing = set(self.metrics) - set(per_field_blocks)
+        if missing:
+            raise ValueError(f"missing data for fields: {sorted(missing)}")
+        lengths = {len(per_field_blocks[name]) for name in self.metrics}
+        if len(lengths) != 1:
+            raise ValueError(f"inconsistent block counts across fields: {lengths}")
+        (nblocks,) = lengths
+        if nblocks == 0:
+            return []
+
+        per_field_scores: Dict[str, np.ndarray] = {}
+        for name, metric in self.metrics.items():
+            scores = np.asarray(
+                [metric.score_block(b) for b in per_field_blocks[name]], dtype=np.float64
+            )
+            peak = scores.max()
+            per_field_scores[name] = scores / peak if peak > 0 else scores
+        combined = np.zeros(nblocks, dtype=np.float64)
+        if self.mode == "sum":
+            for name, scores in per_field_scores.items():
+                combined += self.weights[name] * scores
+        else:
+            stacked = np.stack(
+                [self.weights[name] * scores for name, scores in per_field_scores.items()]
+            )
+            combined = stacked.max(axis=0)
+        return [float(v) for v in combined]

@@ -1,0 +1,32 @@
+"""Platform performance model ("Blue Waters seconds").
+
+The algorithms in this repository are real — scores, reductions, isosurfaces
+and redistributions are actually computed — but the wall-clock of a laptop
+Python process says nothing about the timing behaviour the paper measured on
+Blue Waters.  The performance model closes that gap: it converts *measured
+work counts* (triangles rendered, points scored, bytes exchanged) into
+modelled platform seconds using analytic cost functions calibrated against the
+paper's published numbers (Table I, the 160 s / 50 s / 1 s rendering
+baselines, and the ~1.2 s / 0.6 s redistribution costs).
+
+Every experiment driver reports modelled seconds, which is what makes the
+reproduced figures comparable in *shape* to the paper's.
+"""
+
+from repro.perfmodel.render_model import RenderCostModel
+from repro.perfmodel.platform import PlatformModel
+from repro.perfmodel.calibration import (
+    TABLE1_SECONDS,
+    PAPER_BASELINES,
+    metric_cost_from_table1,
+    calibrate_render_model,
+)
+
+__all__ = [
+    "RenderCostModel",
+    "PlatformModel",
+    "TABLE1_SECONDS",
+    "PAPER_BASELINES",
+    "metric_cost_from_table1",
+    "calibrate_render_model",
+]

@@ -1,0 +1,148 @@
+"""Latency/bandwidth network cost model.
+
+The model is the classic ``alpha + n * beta`` (Hockney) model: a message of
+``n`` bytes costs ``latency + n / bandwidth`` seconds.  Collectives are priced
+with standard tree/ring algorithm formulas.  Default parameters approximate
+the Cray Gemini interconnect of Blue Waters, which is what makes the paper's
+observation reproducible that block redistribution costs ~1 s while rendering
+costs tens to hundreds of seconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.validation import ensure_positive
+
+
+@dataclass(frozen=True)
+class NetworkCostModel:
+    """Analytic communication cost model.
+
+    Attributes
+    ----------
+    latency:
+        Per-message latency (seconds).  Blue Waters Gemini: ~1.5 microseconds.
+    bandwidth:
+        Point-to-point bandwidth in bytes/second.  Gemini: ~6 GB/s effective.
+    per_rank_overhead:
+        Fixed software overhead charged per participating rank per collective,
+        accounting for MPI stack and Python-side marshalling.
+    """
+
+    latency: float = 1.5e-6
+    bandwidth: float = 6.0e9
+    per_rank_overhead: float = 5.0e-6
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.latency, "latency")
+        ensure_positive(self.bandwidth, "bandwidth")
+        if self.per_rank_overhead < 0:
+            raise ValueError("per_rank_overhead must be >= 0")
+
+    # -- point-to-point -----------------------------------------------------
+
+    def p2p(self, nbytes: int) -> float:
+        """Cost of a single point-to-point message of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        return self.latency + nbytes / self.bandwidth
+
+    # -- collectives ----------------------------------------------------------
+
+    def _log2p(self, nranks: int) -> float:
+        return max(1.0, math.ceil(math.log2(max(nranks, 2))))
+
+    def barrier(self, nranks: int) -> float:
+        """Dissemination barrier: ``ceil(log2 P)`` latency-bound rounds."""
+        self._check_ranks(nranks)
+        return self._log2p(nranks) * self.latency + nranks * 0.0 + self.per_rank_overhead
+
+    def bcast(self, nbytes: int, nranks: int) -> float:
+        """Binomial-tree broadcast of ``nbytes`` to ``nranks`` ranks."""
+        self._check_ranks(nranks)
+        if nranks == 1:
+            return 0.0
+        rounds = self._log2p(nranks)
+        return rounds * self.p2p(nbytes) + self.per_rank_overhead
+
+    def reduce(self, nbytes: int, nranks: int) -> float:
+        """Binomial-tree reduction (same shape as broadcast)."""
+        return self.bcast(nbytes, nranks)
+
+    def allreduce(self, nbytes: int, nranks: int) -> float:
+        """Reduce + broadcast (recursive doubling upper bound)."""
+        self._check_ranks(nranks)
+        if nranks == 1:
+            return 0.0
+        rounds = self._log2p(nranks)
+        return 2.0 * rounds * self.p2p(nbytes) + self.per_rank_overhead
+
+    def gather(self, nbytes_per_rank: int, nranks: int) -> float:
+        """Gather of ``nbytes_per_rank`` from every rank to the root.
+
+        The root receives ``(P-1) * nbytes`` in total; the binomial tree hides
+        some latency but the root link is the bottleneck, so the cost is
+        dominated by the root's ingest volume.
+        """
+        self._check_ranks(nranks)
+        if nranks == 1:
+            return 0.0
+        total = nbytes_per_rank * (nranks - 1)
+        return self._log2p(nranks) * self.latency + total / self.bandwidth + self.per_rank_overhead
+
+    def allgather(self, nbytes_per_rank: int, nranks: int) -> float:
+        """Ring allgather: every rank ends with ``P * nbytes`` of data."""
+        self._check_ranks(nranks)
+        if nranks == 1:
+            return 0.0
+        total = nbytes_per_rank * (nranks - 1)
+        return (nranks - 1) * self.latency + total / self.bandwidth + self.per_rank_overhead
+
+    def scatter(self, nbytes_per_rank: int, nranks: int) -> float:
+        """Scatter from the root (mirror of gather)."""
+        return self.gather(nbytes_per_rank, nranks)
+
+    def alltoallv(self, send_matrix_bytes, nranks: int) -> float:
+        """Personalised all-to-all given a ``P x P`` byte matrix.
+
+        ``send_matrix_bytes[i][j]`` is the number of bytes rank ``i`` sends to
+        rank ``j``.  The cost is bounded by the most loaded rank (its total
+        send + receive volume) plus one latency per distinct partner.
+        """
+        self._check_ranks(nranks)
+        worst = 0.0
+        for i in range(nranks):
+            send_bytes = 0
+            partners = 0
+            for j in range(nranks):
+                b = int(send_matrix_bytes[i][j]) if i != j else 0
+                if b > 0:
+                    send_bytes += b
+                    partners += 1
+            recv_bytes = 0
+            for j in range(nranks):
+                b = int(send_matrix_bytes[j][i]) if i != j else 0
+                if b > 0:
+                    recv_bytes += b
+                    partners += 1
+            cost = partners * self.latency + (send_bytes + recv_bytes) / self.bandwidth
+            worst = max(worst, cost)
+        return worst + self.per_rank_overhead
+
+    def _check_ranks(self, nranks: int) -> None:
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+
+    # -- convenience -----------------------------------------------------------
+
+    @classmethod
+    def blue_waters(cls) -> "NetworkCostModel":
+        """Parameters approximating the Blue Waters Cray Gemini interconnect."""
+        return cls(latency=1.5e-6, bandwidth=6.0e9, per_rank_overhead=5.0e-6)
+
+    @classmethod
+    def slow_cluster(cls) -> "NetworkCostModel":
+        """A commodity-ethernet-like platform (used by the ablation benches)."""
+        return cls(latency=5.0e-5, bandwidth=1.0e9, per_rank_overhead=2.0e-5)

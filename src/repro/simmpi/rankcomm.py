@@ -1,0 +1,197 @@
+"""Per-rank communicator for the thread-based SPMD runtime.
+
+Each virtual rank executing inside :class:`~repro.simmpi.runtime.SimRuntime`
+receives a :class:`RankCommunicator` whose API follows mpi4py's lowercase
+(pickle-based) methods: ``send``/``recv``/``isend``/``irecv``, ``bcast``,
+``gather``, ``allgather``, ``scatter``, ``reduce``, ``allreduce``,
+``alltoall``, ``barrier``, and ``scan``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.simmpi.requests import Request
+
+_DEFAULT_TIMEOUT = 60.0
+
+
+class _SharedState:
+    """State shared by all ranks of one runtime: mailboxes and rendezvous slots."""
+
+    def __init__(self, nranks: int) -> None:
+        self.nranks = nranks
+        # mailboxes[(dst, src, tag)] -> queue of payloads
+        self.mailboxes: Dict[Tuple[int, int, int], "queue.Queue[Any]"] = {}
+        self.mailbox_lock = threading.Lock()
+        self.barrier = threading.Barrier(nranks)
+        # Collective staging area, guarded by the barrier on both sides.
+        self.slots: List[Any] = [None] * nranks
+        self.result: Any = None
+
+    def mailbox(self, dst: int, src: int, tag: int) -> "queue.Queue[Any]":
+        key = (dst, src, tag)
+        with self.mailbox_lock:
+            q = self.mailboxes.get(key)
+            if q is None:
+                q = queue.Queue()
+                self.mailboxes[key] = q
+            return q
+
+
+class RankCommunicator:
+    """The view one virtual rank has of the communicator."""
+
+    def __init__(self, rank: int, shared: _SharedState, timeout: float = _DEFAULT_TIMEOUT) -> None:
+        self._rank = rank
+        self._shared = shared
+        self._timeout = timeout
+
+    # -- introspection (mpi4py naming) ------------------------------------
+
+    def Get_rank(self) -> int:
+        """Rank of the calling virtual process."""
+        return self._rank
+
+    def Get_size(self) -> int:
+        """Number of virtual processes in the communicator."""
+        return self._shared.nranks
+
+    rank = property(Get_rank)
+    size = property(Get_size)
+
+    # -- point to point -----------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking send (buffered: enqueues and returns)."""
+        self._check_rank(dest)
+        self._shared.mailbox(dest, self._rank, tag).put(obj)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Blocking receive from ``source``."""
+        self._check_rank(source)
+        q = self._shared.mailbox(self._rank, source, tag)
+        try:
+            return q.get(timeout=self._timeout)
+        except queue.Empty:
+            raise TimeoutError(
+                f"rank {self._rank}: recv from {source} tag {tag} timed out"
+            ) from None
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send; completes immediately (buffered semantics)."""
+        self.send(obj, dest, tag)
+        return Request("send", lambda timeout: None)
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        """Non-blocking receive; the payload is produced by ``wait()``."""
+        self._check_rank(source)
+        q = self._shared.mailbox(self._rank, source, tag)
+
+        def resolve(timeout: Optional[float]) -> Any:
+            t = self._timeout if timeout is None else timeout
+            try:
+                if t == 0.0:
+                    return q.get_nowait()
+                return q.get(timeout=t)
+            except queue.Empty:
+                raise TimeoutError(
+                    f"rank {self._rank}: irecv from {source} tag {tag} timed out"
+                ) from None
+
+        return Request("recv", resolve)
+
+    def sendrecv(self, obj: Any, dest: int, source: int, tag: int = 0) -> Any:
+        """Combined send to ``dest`` and receive from ``source``."""
+        self.send(obj, dest, tag)
+        return self.recv(source, tag)
+
+    # -- collectives -----------------------------------------------------------
+
+    def barrier(self) -> None:
+        """Synchronise all ranks."""
+        self._shared.barrier.wait(timeout=self._timeout)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root`` to all ranks."""
+        self._check_rank(root)
+        self._stage(obj if self._rank == root else None)
+        value = self._shared.slots[root]
+        self.barrier()
+        return value
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        """Gather one object per rank at ``root`` (others get ``None``)."""
+        self._check_rank(root)
+        self._stage(obj)
+        result = list(self._shared.slots) if self._rank == root else None
+        self.barrier()
+        return result
+
+    def allgather(self, obj: Any) -> List[Any]:
+        """Gather one object per rank on every rank."""
+        self._stage(obj)
+        result = list(self._shared.slots)
+        self.barrier()
+        return result
+
+    def scatter(self, objs: Optional[List[Any]], root: int = 0) -> Any:
+        """Scatter ``objs`` (only meaningful at ``root``) so rank r gets objs[r]."""
+        self._check_rank(root)
+        if self._rank == root:
+            if objs is None or len(objs) != self._shared.nranks:
+                raise ValueError("root must provide one object per rank")
+        self._stage(list(objs) if self._rank == root else None)
+        staged = self._shared.slots[root]
+        value = staged[self._rank]
+        self.barrier()
+        return value
+
+    def reduce(self, obj: Any, op: Callable[[Any, Any], Any] = None, root: int = 0) -> Any:
+        """Reduce per-rank objects with ``op`` (default sum) at ``root``."""
+        gathered = self.gather(obj, root=root)
+        if self._rank != root:
+            return None
+        return self._fold(gathered, op)
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+        """Reduce per-rank objects with ``op`` (default sum) on every rank."""
+        gathered = self.allgather(obj)
+        return self._fold(gathered, op)
+
+    def alltoall(self, objs: List[Any]) -> List[Any]:
+        """Each rank provides one object per destination; receives one per source."""
+        if len(objs) != self._shared.nranks:
+            raise ValueError(
+                f"alltoall needs {self._shared.nranks} objects, got {len(objs)}"
+            )
+        self._stage(list(objs))
+        all_rows = list(self._shared.slots)
+        self.barrier()
+        return [all_rows[src][self._rank] for src in range(self._shared.nranks)]
+
+    def scan(self, obj: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+        """Inclusive prefix reduction over ranks 0..self."""
+        gathered = self.allgather(obj)
+        return self._fold(gathered[: self._rank + 1], op)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _fold(self, values: List[Any], op: Optional[Callable[[Any, Any], Any]]) -> Any:
+        if op is None:
+            op = lambda a, b: a + b  # noqa: E731
+        acc = values[0]
+        for v in values[1:]:
+            acc = op(acc, v)
+        return acc
+
+    def _stage(self, obj: Any) -> None:
+        """Place this rank's contribution in the shared slots (barrier-delimited)."""
+        self._shared.slots[self._rank] = obj
+        self._shared.barrier.wait(timeout=self._timeout)
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self._shared.nranks):
+            raise ValueError(f"rank {rank} out of range [0, {self._shared.nranks})")

@@ -1,0 +1,68 @@
+"""Non-blocking communication requests for the SPMD runtime."""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional
+
+
+class Request:
+    """Handle for a non-blocking send or receive.
+
+    Mirrors the mpi4py ``Request`` surface needed by the paper's pipeline
+    (the redistribution step posts a series of non-blocking receives and
+    sends, then waits for all of them).
+    """
+
+    def __init__(self, kind: str, resolve: Callable[[Optional[float]], Any]) -> None:
+        if kind not in ("send", "recv"):
+            raise ValueError(f"kind must be 'send' or 'recv', got {kind!r}")
+        self.kind = kind
+        self._resolve = resolve
+        self._done = False
+        self._value: Any = None
+        self._lock = threading.Lock()
+
+    def wait(self, timeout: Optional[float] = None) -> Any:
+        """Block until the operation completes; return the received payload.
+
+        Send requests return ``None``.  Raises ``TimeoutError`` if ``timeout``
+        elapses first.
+        """
+        with self._lock:
+            if self._done:
+                return self._value
+        value = self._resolve(timeout)
+        with self._lock:
+            self._done = True
+            self._value = value
+        return value
+
+    def test(self) -> bool:
+        """Non-blocking completion check.
+
+        Returns True if the operation has completed (after which
+        :meth:`wait` returns immediately).
+        """
+        with self._lock:
+            if self._done:
+                return True
+        try:
+            value = self._resolve(0.0)
+        except TimeoutError:
+            return False
+        with self._lock:
+            self._done = True
+            self._value = value
+        return True
+
+    @property
+    def done(self) -> bool:
+        """Whether the request has already been completed by wait()/test()."""
+        with self._lock:
+            return self._done
+
+
+def waitall(requests) -> list:
+    """Wait for all ``requests``; return their values in order."""
+    return [req.wait() for req in requests]

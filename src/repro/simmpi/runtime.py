@@ -1,0 +1,94 @@
+"""Thread-based SPMD runtime.
+
+:class:`SimRuntime` runs the same Python function once per virtual rank, each
+in its own thread, handing every rank a
+:class:`~repro.simmpi.rankcomm.RankCommunicator`.  This gives library users a
+programming model that looks like real MPI code (the paper's pipeline is an
+SPMD program) without requiring an MPI installation.
+
+It is intended for modest rank counts (tests and examples use 4–16 ranks);
+large-scale experiments use the driver-side
+:class:`~repro.simmpi.communicator.BSPCommunicator` instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from repro.simmpi.rankcomm import RankCommunicator, _SharedState
+
+
+@dataclass
+class RankResult:
+    """Outcome of one rank's execution."""
+
+    rank: int
+    value: Any = None
+    exception: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        """True if the rank completed without raising."""
+        return self.exception is None
+
+
+class SPMDError(RuntimeError):
+    """Raised when one or more ranks of an SPMD run failed."""
+
+    def __init__(self, failures: List[RankResult]) -> None:
+        self.failures = failures
+        msgs = "; ".join(f"rank {f.rank}: {f.exception!r}" for f in failures)
+        super().__init__(f"{len(failures)} rank(s) failed: {msgs}")
+
+
+class SimRuntime:
+    """Runs SPMD functions over ``nranks`` virtual ranks (one thread each)."""
+
+    def __init__(self, nranks: int, timeout: float = 60.0) -> None:
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        if timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        self.nranks = int(nranks)
+        self.timeout = float(timeout)
+
+    def run(self, func: Callable[..., Any], *args: Any, **kwargs: Any) -> List[Any]:
+        """Execute ``func(comm, *args, **kwargs)`` on every rank.
+
+        ``comm`` is the rank's :class:`RankCommunicator`.  Returns the list of
+        per-rank return values (indexed by rank).  If any rank raises, an
+        :class:`SPMDError` carrying all failures is raised instead.
+        """
+        shared = _SharedState(self.nranks)
+        results: List[RankResult] = [RankResult(rank=r) for r in range(self.nranks)]
+
+        def worker(rank: int) -> None:
+            comm = RankCommunicator(rank, shared, timeout=self.timeout)
+            try:
+                results[rank].value = func(comm, *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - propagated via SPMDError
+                results[rank].exception = exc
+
+        threads = [
+            threading.Thread(target=worker, args=(r,), name=f"simmpi-rank-{r}", daemon=True)
+            for r in range(self.nranks)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=self.timeout + 5.0)
+        hung = [t for t in threads if t.is_alive()]
+        if hung:
+            raise SPMDError(
+                [
+                    RankResult(rank=i, exception=TimeoutError("rank did not terminate"))
+                    for i, t in enumerate(threads)
+                    if t.is_alive()
+                ]
+            )
+        failures = [r for r in results if not r.ok]
+        if failures:
+            raise SPMDError(failures)
+        return [r.value for r in results]

@@ -1,0 +1,104 @@
+"""Per-rank virtual clocks.
+
+Each virtual rank owns a clock measured in *modelled platform seconds*.
+Compute work advances a single rank's clock; collectives synchronise all
+participating clocks to the maximum (plus the collective's own cost), which is
+precisely the "slowest process drives the total run time" effect the paper's
+load-redistribution step addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+class VirtualClocks:
+    """A set of per-rank clocks in modelled seconds."""
+
+    def __init__(self, nranks: int) -> None:
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        self._times = np.zeros(nranks, dtype=np.float64)
+
+    @property
+    def nranks(self) -> int:
+        """Number of ranks tracked."""
+        return int(self._times.size)
+
+    def advance(self, rank: int, seconds: float) -> None:
+        """Advance a single rank's clock by ``seconds`` of local work."""
+        self._check_rank(rank)
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time: {seconds}")
+        self._times[rank] += seconds
+
+    def advance_all(self, seconds_per_rank: Sequence[float]) -> None:
+        """Advance every rank's clock by its own amount of local work."""
+        arr = np.asarray(seconds_per_rank, dtype=np.float64)
+        if arr.shape != self._times.shape:
+            raise ValueError(
+                f"expected {self.nranks} per-rank times, got shape {arr.shape}"
+            )
+        if np.any(arr < 0):
+            raise ValueError("cannot advance clocks by negative time")
+        self._times += arr
+
+    def synchronize(
+        self, cost: float = 0.0, ranks: Optional[Iterable[int]] = None
+    ) -> float:
+        """Synchronise ranks at a collective costing ``cost`` modelled seconds.
+
+        All participating clocks jump to ``max(participants) + cost``.
+        Returns the post-synchronisation time.
+        """
+        if cost < 0:
+            raise ValueError(f"collective cost must be >= 0, got {cost}")
+        if ranks is None:
+            idx = np.arange(self.nranks)
+        else:
+            idx = np.asarray(sorted(set(int(r) for r in ranks)), dtype=np.int64)
+            if idx.size == 0:
+                raise ValueError("cannot synchronise an empty set of ranks")
+            for r in idx:
+                self._check_rank(int(r))
+        t = float(self._times[idx].max()) + cost
+        self._times[idx] = t
+        return t
+
+    def time(self, rank: int) -> float:
+        """Current clock of ``rank``."""
+        self._check_rank(rank)
+        return float(self._times[rank])
+
+    def times(self) -> List[float]:
+        """All clocks as a list indexed by rank."""
+        return [float(t) for t in self._times]
+
+    def max_time(self) -> float:
+        """Clock of the slowest rank (the pipeline's makespan)."""
+        return float(self._times.max())
+
+    def min_time(self) -> float:
+        """Clock of the fastest rank."""
+        return float(self._times.min())
+
+    def imbalance(self) -> float:
+        """Load-imbalance factor ``max / mean`` (1.0 means perfectly balanced)."""
+        mean = float(self._times.mean())
+        if mean <= 0.0:
+            return 1.0
+        return float(self._times.max()) / mean
+
+    def reset(self) -> None:
+        """Reset all clocks to zero."""
+        self._times[:] = 0.0
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the clock array."""
+        return self._times.copy()
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.nranks):
+            raise ValueError(f"rank {rank} out of range [0, {self.nranks})")

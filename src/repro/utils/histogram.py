@@ -1,0 +1,86 @@
+"""Fixed-range histogram helpers.
+
+The paper's ITL-style entropy metric requires histograms built with the *same*
+range and bin count on every process so that per-block entropies are
+comparable across the whole domain (Section IV-B-c).  These helpers centralise
+that logic.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def fixed_range_histogram(
+    values: np.ndarray,
+    bins: int,
+    value_range: Tuple[float, float],
+    clip: bool = True,
+) -> np.ndarray:
+    """Histogram ``values`` into ``bins`` equally-sized bins over ``value_range``.
+
+    Parameters
+    ----------
+    values:
+        Array of samples (any shape; flattened internally).
+    bins:
+        Number of bins (must be >= 1).
+    value_range:
+        ``(lo, hi)`` with ``hi > lo``.  The same range must be used by every
+        process for scores to be comparable.
+    clip:
+        If True (default), values outside the range are clipped into the first
+        or last bin, mirroring how the paper treats the known dBZ range.
+        If False, out-of-range values are dropped.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer counts of shape ``(bins,)``.
+    """
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    lo, hi = float(value_range[0]), float(value_range[1])
+    if not hi > lo:
+        raise ValueError(f"invalid range: ({lo}, {hi})")
+    flat = np.asarray(values, dtype=np.float64).ravel()
+    if flat.size == 0:
+        return np.zeros(bins, dtype=np.int64)
+    if clip:
+        flat = np.clip(flat, lo, hi)
+    else:
+        flat = flat[(flat >= lo) & (flat <= hi)]
+        if flat.size == 0:
+            return np.zeros(bins, dtype=np.int64)
+    counts, _ = np.histogram(flat, bins=bins, range=(lo, hi))
+    return counts.astype(np.int64)
+
+
+def probabilities(counts: np.ndarray) -> np.ndarray:
+    """Convert histogram ``counts`` into probabilities (empty bins removed).
+
+    Returns an array of strictly positive probabilities summing to 1, or an
+    empty array if all counts are zero.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.ndim != 1:
+        raise ValueError("counts must be 1-D")
+    total = counts.sum()
+    if total <= 0:
+        return np.zeros(0, dtype=np.float64)
+    probs = counts[counts > 0] / total
+    return probs
+
+
+def shannon_entropy(counts: np.ndarray) -> float:
+    """Shannon entropy (bits) of a histogram given as raw counts.
+
+    ``E = -sum(p_i * log2(p_i))`` over non-empty bins.  Returns 0.0 for an
+    empty histogram (a constant block carries no information).
+    """
+    probs = probabilities(counts)
+    if probs.size == 0:
+        return 0.0
+    return float(-np.sum(probs * np.log2(probs)))

@@ -1,0 +1,42 @@
+"""Small argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def ensure_3d(array: np.ndarray, name: str = "array") -> np.ndarray:
+    """Return ``array`` as a 3-D :class:`numpy.ndarray`, raising otherwise."""
+    arr = np.asarray(array)
+    if arr.ndim != 3:
+        raise ValueError(f"{name} must be 3-D, got shape {arr.shape}")
+    return arr
+
+
+def ensure_float_array(array: np.ndarray, name: str = "array") -> np.ndarray:
+    """Return ``array`` as a floating-point ndarray (float32 preserved)."""
+    arr = np.asarray(array)
+    if not np.issubdtype(arr.dtype, np.floating):
+        arr = arr.astype(np.float64)
+    return arr
+
+
+def ensure_positive(value: float, name: str = "value") -> float:
+    """Validate that ``value`` is strictly positive and return it as float."""
+    v = float(value)
+    if not v > 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return v
+
+
+def ensure_in_range(
+    value: float, bounds: Tuple[float, float], name: str = "value"
+) -> float:
+    """Validate ``bounds[0] <= value <= bounds[1]`` and return it as float."""
+    lo, hi = bounds
+    v = float(value)
+    if not (lo <= v <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value}")
+    return v

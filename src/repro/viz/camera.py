@@ -1,0 +1,120 @@
+"""A minimal pinhole camera for the software rasterizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+
+def _normalise(v: np.ndarray) -> np.ndarray:
+    norm = np.linalg.norm(v)
+    if norm == 0:
+        raise ValueError("cannot normalise a zero vector")
+    return v / norm
+
+
+@dataclass
+class Camera:
+    """A look-at pinhole camera.
+
+    Attributes
+    ----------
+    position:
+        Camera position in world coordinates.
+    target:
+        Point the camera looks at.
+    up:
+        Approximate up direction.
+    fov_degrees:
+        Vertical field of view.
+    near:
+        Near-plane distance; geometry closer than this is discarded.
+    """
+
+    position: np.ndarray
+    target: np.ndarray
+    up: np.ndarray = field(default_factory=lambda: np.array([0.0, 0.0, 1.0]))
+    fov_degrees: float = 45.0
+    near: float = 1e-3
+
+    def __post_init__(self) -> None:
+        self.position = np.asarray(self.position, dtype=np.float64).reshape(3)
+        self.target = np.asarray(self.target, dtype=np.float64).reshape(3)
+        self.up = np.asarray(self.up, dtype=np.float64).reshape(3)
+        if not (0.0 < self.fov_degrees < 180.0):
+            raise ValueError(f"fov_degrees must be in (0, 180), got {self.fov_degrees}")
+        if self.near <= 0:
+            raise ValueError(f"near must be > 0, got {self.near}")
+        if np.allclose(self.position, self.target):
+            raise ValueError("camera position and target coincide")
+
+    # -- view basis ------------------------------------------------------------
+
+    def basis(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return the (right, up, forward) orthonormal camera basis."""
+        forward = _normalise(self.target - self.position)
+        right = np.cross(forward, self.up)
+        if np.linalg.norm(right) < 1e-12:
+            # Up is parallel to the view direction; pick any perpendicular.
+            alt = np.array([1.0, 0.0, 0.0])
+            if abs(forward[0]) > 0.9:
+                alt = np.array([0.0, 1.0, 0.0])
+            right = np.cross(forward, alt)
+        right = _normalise(right)
+        true_up = np.cross(right, forward)
+        return right, true_up, forward
+
+    # -- projection -------------------------------------------------------------
+
+    def project(
+        self, points: np.ndarray, width: int, height: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Project world-space ``points`` to pixel coordinates.
+
+        Returns ``(pixels, depth)``: ``pixels`` is ``(n, 2)`` (x, y) in pixel
+        units (not necessarily inside the viewport), ``depth`` is the distance
+        along the viewing direction (used for z-buffering; points behind the
+        near plane get ``inf`` depth so they are never drawn).
+        """
+        if width < 1 or height < 1:
+            raise ValueError("viewport must be at least 1x1 pixel")
+        pts = np.asarray(points, dtype=np.float64).reshape(-1, 3)
+        right, true_up, forward = self.basis()
+        rel = pts - self.position
+        x_cam = rel @ right
+        y_cam = rel @ true_up
+        z_cam = rel @ forward
+        focal = 0.5 * height / np.tan(np.radians(self.fov_degrees) / 2.0)
+        safe_z = np.where(z_cam > self.near, z_cam, np.inf)
+        px = width / 2.0 + focal * x_cam / safe_z
+        py = height / 2.0 - focal * y_cam / safe_z
+        depth = np.where(z_cam > self.near, z_cam, np.inf)
+        return np.stack([px, py], axis=1), depth
+
+    # -- convenience -----------------------------------------------------------
+
+    @classmethod
+    def fit_bounds(
+        cls,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        direction: np.ndarray = (1.0, -0.8, 0.5),
+        fov_degrees: float = 45.0,
+        margin: float = 1.4,
+    ) -> "Camera":
+        """Build a camera that frames the axis-aligned box [lo, hi]."""
+        lo = np.asarray(lo, dtype=np.float64).reshape(3)
+        hi = np.asarray(hi, dtype=np.float64).reshape(3)
+        center = 0.5 * (lo + hi)
+        radius = 0.5 * float(np.linalg.norm(hi - lo))
+        if radius <= 0:
+            radius = 1.0
+        direction = _normalise(np.asarray(direction, dtype=np.float64).reshape(3))
+        distance = margin * radius / np.tan(np.radians(fov_degrees) / 2.0)
+        return cls(
+            position=center - direction * distance,
+            target=center,
+            fov_degrees=fov_degrees,
+        )

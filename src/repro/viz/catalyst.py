@@ -1,0 +1,232 @@
+"""A Catalyst-like in situ co-processing API.
+
+ParaView Catalyst lets a simulation hand its data to "pipeline scripts" that
+produce visualization output while the simulation runs.  This module provides
+the same shape of API for the reproduction:
+
+* :class:`IsosurfaceScript` — the expensive scenario of the paper: marching-
+  cubes isosurface extraction of the reflectivity (45 dBZ by default) plus
+  optional image rendering;
+* :class:`ColormapScript` — the cheap 2-D colormap scenario;
+* :class:`CatalystPipeline` — holds the scripts and exposes ``coprocess``,
+  which one virtual rank calls per iteration with its list of blocks.
+
+Every script returns a :class:`RenderResult` carrying the quantities the rest
+of the system needs: per-block triangle counts (rendering load), active cell
+counts, and optionally the extracted mesh / rendered image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.grid.block import Block
+from repro.grid.reduction import reconstruct_block
+from repro.utils.timer import Timer
+from repro.viz.camera import Camera
+from repro.viz.colormap import apply_colormap
+from repro.viz.framebuffer import Framebuffer
+from repro.viz.marching_cubes import count_active_cells, marching_cubes
+from repro.viz.mesh import TriangleMesh
+from repro.viz.rasterizer import rasterize_mesh
+
+#: Average number of triangles emitted per isosurface-crossing cell by the
+#: tetrahedral triangulation (used when running in counting mode).  Six
+#: tetrahedra per cell emit one or two triangles each when crossed, which
+#: averages out to roughly five triangles per active cell in practice.
+TRIANGLES_PER_ACTIVE_CELL = 5.0
+
+
+@dataclass
+class RenderResult:
+    """Output of one script for one rank and one iteration."""
+
+    script_name: str
+    iteration: int
+    #: Number of payload points processed (reduced blocks contribute 8).
+    npoints: int = 0
+    #: Per-block triangle counts (isosurface scripts only).
+    per_block_triangles: Dict[int, int] = field(default_factory=dict)
+    #: Per-block isosurface-crossing cell counts.
+    per_block_active_cells: Dict[int, int] = field(default_factory=dict)
+    #: Extracted geometry, if the script was asked to keep it.
+    mesh: Optional[TriangleMesh] = None
+    #: Rendered image, if the script was asked to produce one.
+    image: Optional[np.ndarray] = None
+    #: Wall-clock seconds spent in the script (measured, not modelled).
+    measured_seconds: float = 0.0
+
+    @property
+    def ntriangles(self) -> int:
+        """Total triangles across the rank's blocks."""
+        return int(sum(self.per_block_triangles.values()))
+
+    @property
+    def active_cells(self) -> int:
+        """Total isosurface-crossing cells across the rank's blocks."""
+        return int(sum(self.per_block_active_cells.values()))
+
+
+class VisualizationScript:
+    """Base class for Catalyst-style pipeline scripts."""
+
+    name = "script"
+
+    def process(self, blocks: Sequence[Block], iteration: int) -> RenderResult:
+        """Process one rank's blocks for one iteration."""
+        raise NotImplementedError
+
+
+class IsosurfaceScript(VisualizationScript):
+    """Isosurface extraction (and optional rendering) of a block list.
+
+    Parameters
+    ----------
+    level:
+        Isovalue; the paper uses 45 dBZ.
+    mode:
+        ``"mesh"`` extracts real geometry with marching cubes;
+        ``"count"`` only counts isosurface-crossing cells (cheap load proxy
+        used by the large virtual-rank experiments) and estimates the
+        triangle count from it.
+    render_image:
+        When True (requires ``mode="mesh"``), rasterize the extracted mesh.
+    image_size:
+        (width, height) of the rendered image.
+    """
+
+    name = "isosurface"
+
+    def __init__(
+        self,
+        level: float = 45.0,
+        mode: str = "mesh",
+        render_image: bool = False,
+        image_size: tuple = (400, 300),
+    ) -> None:
+        if mode not in ("mesh", "count"):
+            raise ValueError(f"mode must be 'mesh' or 'count', got {mode!r}")
+        if render_image and mode != "mesh":
+            raise ValueError("render_image requires mode='mesh'")
+        self.level = float(level)
+        self.mode = mode
+        self.render_image = bool(render_image)
+        self.image_size = (int(image_size[0]), int(image_size[1]))
+
+    def process(self, blocks: Sequence[Block], iteration: int) -> RenderResult:
+        result = RenderResult(script_name=self.name, iteration=iteration)
+        meshes: List[TriangleMesh] = []
+        with Timer() as timer:
+            for block in blocks:
+                # A reduced block is fed to the pipeline as its 8 corner
+                # points spanning the original extent (this is what makes the
+                # reduction save rendering time); a full block is fed as-is.
+                data = np.asarray(block.data, dtype=np.float64)
+                result.npoints += int(block.data.size)
+                start, stop = block.extent.start, block.extent.stop
+                if block.reduced:
+                    coords = [
+                        np.array([start[axis], max(stop[axis] - 1, start[axis] + 1)], dtype=np.float64)
+                        for axis in range(3)
+                    ]
+                else:
+                    coords = [
+                        np.arange(start[axis], start[axis] + data.shape[axis], dtype=np.float64)
+                        for axis in range(3)
+                    ]
+                cells = count_active_cells(data, self.level)
+                if self.mode == "count":
+                    result.per_block_active_cells[block.block_id] = cells
+                    result.per_block_triangles[block.block_id] = int(
+                        round(cells * TRIANGLES_PER_ACTIVE_CELL)
+                    )
+                    continue
+                mesh = marching_cubes(data, self.level, coords=coords)
+                result.per_block_active_cells[block.block_id] = cells
+                result.per_block_triangles[block.block_id] = mesh.ntriangles
+                meshes.append(mesh)
+            if self.mode == "mesh":
+                merged = TriangleMesh.merge(meshes)
+                result.mesh = merged
+                if self.render_image and not merged.is_empty:
+                    lo, hi = merged.bounds()
+                    camera = Camera.fit_bounds(lo, hi)
+                    fb = Framebuffer(self.image_size[0], self.image_size[1])
+                    rasterize_mesh(merged, camera, fb)
+                    result.image = fb.to_uint8()
+        result.measured_seconds = timer.elapsed
+        return result
+
+
+class ColormapScript(VisualizationScript):
+    """2-D colormap of one horizontal level of the rank's blocks.
+
+    The script produces a partial image covering the rank's blocks; the
+    driver composites the per-rank images into the full-domain colormap.
+    """
+
+    name = "colormap"
+
+    def __init__(
+        self,
+        level_index: int,
+        global_shape: tuple,
+        cmap: str = "gray",
+        vmin: Optional[float] = None,
+        vmax: Optional[float] = None,
+    ) -> None:
+        if len(global_shape) != 3:
+            raise ValueError(f"global_shape must be 3 values, got {global_shape}")
+        self.level_index = int(level_index)
+        self.global_shape = tuple(int(v) for v in global_shape)
+        if not (0 <= self.level_index < self.global_shape[2]):
+            raise ValueError(
+                f"level_index {level_index} out of range for shape {global_shape}"
+            )
+        self.cmap = cmap
+        self.vmin = vmin
+        self.vmax = vmax
+
+    def process(self, blocks: Sequence[Block], iteration: int) -> RenderResult:
+        result = RenderResult(script_name=self.name, iteration=iteration)
+        nx, ny, _ = self.global_shape
+        image = np.full((nx, ny), np.nan, dtype=np.float64)
+        with Timer() as timer:
+            for block in blocks:
+                result.npoints += int(block.data.size)
+                ext = block.extent
+                if not (ext.start[2] <= self.level_index < ext.stop[2]):
+                    continue
+                data = reconstruct_block(block)
+                local_k = self.level_index - ext.start[2]
+                image[ext.slices[0], ext.slices[1]] = data[:, :, local_k]
+            covered = ~np.isnan(image)
+            if np.any(covered):
+                filled = np.where(covered, image, np.nanmin(image[covered]))
+                result.image = apply_colormap(
+                    filled, cmap=self.cmap, vmin=self.vmin, vmax=self.vmax
+                )
+        result.measured_seconds = timer.elapsed
+        return result
+
+
+class CatalystPipeline:
+    """Holds the visualization scripts a rank runs at every in situ phase."""
+
+    def __init__(self, scripts: Optional[Sequence[VisualizationScript]] = None) -> None:
+        self.scripts: List[VisualizationScript] = list(scripts) if scripts else []
+
+    def add_script(self, script: VisualizationScript) -> None:
+        """Register an additional script."""
+        if not isinstance(script, VisualizationScript):
+            raise TypeError(f"expected a VisualizationScript, got {type(script)!r}")
+        self.scripts.append(script)
+
+    def coprocess(self, blocks: Sequence[Block], iteration: int) -> List[RenderResult]:
+        """Run every registered script over ``blocks`` (one rank's data)."""
+        if not self.scripts:
+            raise RuntimeError("no visualization scripts registered")
+        return [script.process(blocks, iteration) for script in self.scripts]

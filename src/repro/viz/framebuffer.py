@@ -1,0 +1,84 @@
+"""Framebuffer: colour + depth targets and simple image output.
+
+Images are written as binary PGM/PPM so that no imaging dependency is needed;
+every common viewer (and NumPy itself) can read them back.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Tuple
+
+import numpy as np
+
+
+class Framebuffer:
+    """A z-buffered greyscale/colour render target.
+
+    Attributes
+    ----------
+    width, height:
+        Pixel dimensions.
+    color:
+        ``(height, width)`` float array in [0, 1] (greyscale intensity).
+    depth:
+        ``(height, width)`` float array of view-space depths (inf = empty).
+    """
+
+    def __init__(self, width: int, height: int, background: float = 0.0) -> None:
+        if width < 1 or height < 1:
+            raise ValueError(f"framebuffer must be at least 1x1, got {width}x{height}")
+        if not (0.0 <= background <= 1.0):
+            raise ValueError(f"background must be in [0, 1], got {background}")
+        self.width = int(width)
+        self.height = int(height)
+        self.background = float(background)
+        self.color = np.full((self.height, self.width), self.background, dtype=np.float64)
+        self.depth = np.full((self.height, self.width), np.inf, dtype=np.float64)
+
+    def clear(self) -> None:
+        """Reset colour and depth buffers."""
+        self.color[:] = self.background
+        self.depth[:] = np.inf
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """(height, width)."""
+        return (self.height, self.width)
+
+    def coverage(self) -> float:
+        """Fraction of pixels covered by geometry (finite depth)."""
+        return float(np.mean(np.isfinite(self.depth)))
+
+    def to_uint8(self) -> np.ndarray:
+        """Colour buffer as an 8-bit greyscale image."""
+        return np.clip(self.color * 255.0, 0, 255).astype(np.uint8)
+
+    # -- file output -----------------------------------------------------------
+
+    def save_pgm(self, path: Path) -> Path:
+        """Write the greyscale image as a binary PGM file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        img = self.to_uint8()
+        header = f"P5\n{self.width} {self.height}\n255\n".encode()
+        path.write_bytes(header + img.tobytes())
+        return path
+
+    @staticmethod
+    def save_array_pgm(image: np.ndarray, path: Path) -> Path:
+        """Write any 2-D array as a normalised binary PGM (utility for scoremaps)."""
+        arr = np.asarray(image, dtype=np.float64)
+        if arr.ndim != 2:
+            raise ValueError(f"image must be 2-D, got shape {arr.shape}")
+        lo, hi = float(arr.min()), float(arr.max())
+        if hi > lo:
+            norm = (arr - lo) / (hi - lo)
+        else:
+            norm = np.zeros_like(arr)
+        img = np.clip(norm * 255.0, 0, 255).astype(np.uint8)
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        header = f"P5\n{arr.shape[1]} {arr.shape[0]}\n255\n".encode()
+        path.write_bytes(header + img.tobytes())
+        return path

@@ -1,0 +1,216 @@
+"""Isosurface extraction.
+
+The paper extracts the 45 dBZ isosurface with the marching cubes algorithm.
+This implementation extracts the same surface by decomposing every grid cell
+into six tetrahedra and triangulating each tetrahedron (marching tetrahedra).
+The tetrahedral route produces the identical surface topology up to the usual
+ambiguity-resolution differences of classic marching cubes, avoids the
+ambiguous-case problems of the 256-entry table, and — importantly for this
+reproduction — yields the same *load structure*: the number of emitted
+triangles is proportional to the number of grid cells crossed by the
+isosurface, which is what drives per-process rendering time.
+
+The extraction is vectorised: candidate cells are detected with array min/max
+tests, and triangles are generated per (tetrahedron, sign-pattern) group, so
+the cost scales with the number of active cells rather than the domain size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.viz.mesh import TriangleMesh
+
+#: Corner offsets of a cell, indexed 0..7 (x, y, z).
+_CORNER_OFFSETS = np.array(
+    [
+        (0, 0, 0),
+        (1, 0, 0),
+        (1, 1, 0),
+        (0, 1, 0),
+        (0, 0, 1),
+        (1, 0, 1),
+        (1, 1, 1),
+        (0, 1, 1),
+    ],
+    dtype=np.int64,
+)
+
+#: Decomposition of a cell into 6 tetrahedra sharing the main diagonal 0-6.
+_TETRAHEDRA = np.array(
+    [
+        (0, 5, 1, 6),
+        (0, 1, 2, 6),
+        (0, 2, 3, 6),
+        (0, 3, 7, 6),
+        (0, 7, 4, 6),
+        (0, 4, 5, 6),
+    ],
+    dtype=np.int64,
+)
+
+
+def _build_tet_cases() -> Dict[int, List[Tuple[Tuple[int, int], ...]]]:
+    """Triangulation of a tetrahedron for each of the 16 inside/outside patterns.
+
+    For a case (bitmask of which of the 4 tet corners are above the level),
+    the value is a list of triangles; each triangle is 3 edges, and each edge
+    is a pair of local corner indices (one above, one below) on which the
+    isosurface vertex is interpolated.
+    """
+    cases: Dict[int, List[Tuple[Tuple[int, int], ...]]] = {}
+    for case in range(16):
+        inside = [i for i in range(4) if case & (1 << i)]
+        outside = [i for i in range(4) if i not in inside]
+        triangles: List[Tuple[Tuple[int, int], ...]] = []
+        if len(inside) == 1:
+            a = inside[0]
+            edges = [(a, b) for b in outside]
+            triangles.append((edges[0], edges[1], edges[2]))
+        elif len(inside) == 3:
+            a = outside[0]
+            edges = [(b, a) for b in inside]
+            triangles.append((edges[0], edges[1], edges[2]))
+        elif len(inside) == 2:
+            a, b = inside
+            c, d = outside
+            # Quad with corners on edges (a,c), (a,d), (b,d), (b,c); split it
+            # along one diagonal.
+            e_ac, e_ad, e_bd, e_bc = (a, c), (a, d), (b, d), (b, c)
+            triangles.append((e_ac, e_ad, e_bd))
+            triangles.append((e_ac, e_bd, e_bc))
+        cases[case] = triangles
+    return cases
+
+
+_TET_CASES = _build_tet_cases()
+
+
+def count_active_cells(field: np.ndarray, level: float) -> int:
+    """Number of grid cells crossed by the ``level`` isosurface.
+
+    This is the cheap load estimate used by the performance model: rendering
+    cost is proportional to the number of active cells / emitted triangles.
+    """
+    f = np.asarray(field, dtype=np.float64)
+    if f.ndim != 3:
+        raise ValueError(f"field must be 3-D, got shape {f.shape}")
+    if min(f.shape) < 2:
+        return 0
+    c = [f[:-1, :-1, :-1], f[1:, :-1, :-1], f[:-1, 1:, :-1], f[1:, 1:, :-1],
+         f[:-1, :-1, 1:], f[1:, :-1, 1:], f[:-1, 1:, 1:], f[1:, 1:, 1:]]
+    stacked_min = np.minimum.reduce(c)
+    stacked_max = np.maximum.reduce(c)
+    return int(np.count_nonzero((stacked_min < level) & (stacked_max >= level)))
+
+
+def marching_cubes(
+    field: np.ndarray,
+    level: float,
+    coords: Optional[Sequence[np.ndarray]] = None,
+) -> TriangleMesh:
+    """Extract the ``level`` isosurface of a 3-D scalar field.
+
+    Parameters
+    ----------
+    field:
+        3-D scalar array.
+    level:
+        Isovalue (e.g. 45 dBZ for the weak-echo-region surface).
+    coords:
+        Optional per-axis coordinate arrays (rectilinear grid); grid indices
+        are used as coordinates when omitted.
+
+    Returns
+    -------
+    TriangleMesh
+        Triangle soup of the isosurface (vertices are not shared between
+        triangles).
+    """
+    f = np.asarray(field, dtype=np.float64)
+    if f.ndim != 3:
+        raise ValueError(f"field must be 3-D, got shape {f.shape}")
+    if min(f.shape) < 2:
+        return TriangleMesh()
+    if coords is None:
+        axes = [np.arange(n, dtype=np.float64) for n in f.shape]
+    else:
+        if len(coords) != 3:
+            raise ValueError("coords must provide three axes")
+        axes = [np.asarray(c, dtype=np.float64) for c in coords]
+        for axis, (c, n) in enumerate(zip(axes, f.shape)):
+            if c.ndim != 1 or c.size != n:
+                raise ValueError(
+                    f"coords[{axis}] must be 1-D of length {n}, got shape {c.shape}"
+                )
+
+    # 1. Locate active cells.
+    corner_vals = [
+        f[o[0] : f.shape[0] - 1 + o[0], o[1] : f.shape[1] - 1 + o[1], o[2] : f.shape[2] - 1 + o[2]]
+        for o in _CORNER_OFFSETS
+    ]
+    cell_min = np.minimum.reduce(corner_vals)
+    cell_max = np.maximum.reduce(corner_vals)
+    active = np.argwhere((cell_min < level) & (cell_max >= level))
+    if active.shape[0] == 0:
+        return TriangleMesh()
+
+    # 2. Gather per-active-cell corner values and positions.
+    ci, cj, ck = active[:, 0], active[:, 1], active[:, 2]
+    ncells = active.shape[0]
+    values = np.empty((ncells, 8), dtype=np.float64)
+    positions = np.empty((ncells, 8, 3), dtype=np.float64)
+    for corner, (dx, dy, dz) in enumerate(_CORNER_OFFSETS):
+        ii, jj, kk = ci + dx, cj + dy, ck + dz
+        values[:, corner] = f[ii, jj, kk]
+        positions[:, corner, 0] = axes[0][ii]
+        positions[:, corner, 1] = axes[1][jj]
+        positions[:, corner, 2] = axes[2][kk]
+
+    # 3. Triangulate the six tetrahedra of every active cell.
+    soup_parts: List[np.ndarray] = []
+    for tet in _TETRAHEDRA:
+        tet_vals = values[:, tet]           # (ncells, 4)
+        tet_pos = positions[:, tet, :]      # (ncells, 4, 3)
+        inside = (tet_vals > level).astype(np.int64)
+        case_index = (
+            inside[:, 0]
+            | (inside[:, 1] << 1)
+            | (inside[:, 2] << 2)
+            | (inside[:, 3] << 3)
+        )
+        for case, triangles in _TET_CASES.items():
+            if not triangles:
+                continue
+            mask = case_index == case
+            if not np.any(mask):
+                continue
+            vals_c = tet_vals[mask]
+            pos_c = tet_pos[mask]
+            for tri_edges in triangles:
+                tri_pts = np.empty((vals_c.shape[0], 3, 3), dtype=np.float64)
+                for corner_slot, (ia, ib) in enumerate(tri_edges):
+                    va = vals_c[:, ia]
+                    vb = vals_c[:, ib]
+                    denom = vb - va
+                    # Edges always cross the level (one side above, one below),
+                    # so the denominator is never exactly zero; guard anyway.
+                    denom = np.where(np.abs(denom) < 1e-300, 1e-300, denom)
+                    t = np.clip((level - va) / denom, 0.0, 1.0)
+                    tri_pts[:, corner_slot, :] = (
+                        pos_c[:, ia, :] + t[:, None] * (pos_c[:, ib, :] - pos_c[:, ia, :])
+                    )
+                soup_parts.append(tri_pts)
+
+    if not soup_parts:
+        return TriangleMesh()
+    soup = np.concatenate(soup_parts, axis=0)
+    # Drop degenerate triangles (zero area), which can appear when the level
+    # coincides exactly with corner values.
+    e1 = soup[:, 1] - soup[:, 0]
+    e2 = soup[:, 2] - soup[:, 0]
+    areas = 0.5 * np.linalg.norm(np.cross(e1, e2), axis=1)
+    soup = soup[areas > 1e-14]
+    return TriangleMesh.from_triangle_soup(soup)

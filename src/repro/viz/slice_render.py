@@ -1,0 +1,49 @@
+"""2-D colormap (slice) rendering — the fast visualization scenario of Fig. 1(c,d).
+
+The colormap scenario extracts one horizontal level of the 3-D field and maps
+it through a colormap.  The paper notes this scenario completes in about a
+second even at full scale, which is why its adaptive machinery focuses on the
+expensive isosurface scenario; the colormap is still used to show users where
+each metric puts its high scores.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.viz.colormap import apply_colormap
+
+
+def extract_slice(field: np.ndarray, level_index: Optional[int] = None, axis: int = 2) -> np.ndarray:
+    """Extract a 2-D slice of a 3-D field along ``axis`` (default: horizontal slice).
+
+    ``level_index`` defaults to the middle of the axis.
+    """
+    f = np.asarray(field)
+    if f.ndim != 3:
+        raise ValueError(f"field must be 3-D, got shape {f.shape}")
+    if not (0 <= axis <= 2):
+        raise ValueError(f"axis must be 0, 1, or 2, got {axis}")
+    n = f.shape[axis]
+    idx = n // 2 if level_index is None else int(level_index)
+    if not (0 <= idx < n):
+        raise ValueError(f"level_index {idx} out of range [0, {n})")
+    return np.take(f, idx, axis=axis)
+
+
+def render_colormap_slice(
+    field: np.ndarray,
+    level_index: Optional[int] = None,
+    axis: int = 2,
+    cmap: str = "gray",
+    vmin: Optional[float] = None,
+    vmax: Optional[float] = None,
+) -> np.ndarray:
+    """Render a colormap image of one slice of ``field``.
+
+    Returns a 2-D (grayscale) or 3-D (RGB) float array in [0, 1].
+    """
+    slab = extract_slice(field, level_index, axis)
+    return apply_colormap(slab, cmap=cmap, vmin=vmin, vmax=vmax)

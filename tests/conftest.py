@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cm1.config import CM1Config
+from repro.cm1.simulation import CM1Simulation
+from repro.experiments.common import ExperimentScenario, ScenarioConfig
+
+
+@pytest.fixture(scope="session")
+def tiny_simulation() -> CM1Simulation:
+    """A very small synthetic CM1 simulation shared across tests."""
+    return CM1Simulation(CM1Config.tiny())
+
+
+@pytest.fixture(scope="session")
+def tiny_domain(tiny_simulation):
+    """The first snapshot of the tiny simulation."""
+    return tiny_simulation.snapshot(0)
+
+
+@pytest.fixture(scope="session")
+def tiny_field(tiny_domain) -> np.ndarray:
+    """The reflectivity field of the tiny snapshot."""
+    return np.asarray(tiny_domain.get_field("dbz"), dtype=np.float64)
+
+
+@pytest.fixture(scope="session")
+def tiny_scenario() -> ExperimentScenario:
+    """A 4-rank experiment scenario shared across integration tests."""
+    return ExperimentScenario.tiny(nranks=4, nsnapshots=3)
+
+
+@pytest.fixture(scope="session")
+def small_scenario_16() -> ExperimentScenario:
+    """A 16-rank scenario with a non-trivial block layout."""
+    return ExperimentScenario(
+        ScenarioConfig(
+            ncores=16,
+            shape=(88, 88, 24),
+            blocks_per_subdomain=(2, 2, 2),
+            nsnapshots=3,
+        )
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Deterministic RNG for per-test random data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def smooth_block(rng) -> np.ndarray:
+    """A smooth (highly compressible, low-information) block."""
+    x = np.linspace(0.0, 1.0, 12)
+    xx, yy, zz = np.meshgrid(x, x, x[:8], indexing="ij")
+    return (xx + 2.0 * yy - zz).astype(np.float32)
+
+
+@pytest.fixture()
+def turbulent_block(rng) -> np.ndarray:
+    """A turbulent (information-rich) block in the dBZ value range."""
+    return (rng.uniform(-60.0, 80.0, size=(12, 12, 8))).astype(np.float32)
+
+
+@pytest.fixture()
+def constant_block() -> np.ndarray:
+    """A constant block (zero information)."""
+    return np.full((10, 10, 6), -60.0, dtype=np.float32)

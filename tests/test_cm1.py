@@ -1,0 +1,236 @@
+"""Tests for the synthetic CM1 model (storm, microphysics, reflectivity, winds)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cm1.config import CM1Config, StormConfig
+from repro.cm1.dynamics import WindField
+from repro.cm1.microphysics import Microphysics, correlated_noise
+from repro.cm1.reflectivity import DBZ_MAX, DBZ_MIN, equivalent_reflectivity, reflectivity_dbz
+from repro.cm1.simulation import CM1Simulation
+from repro.cm1.state import ModelState
+from repro.cm1.storm import SupercellStorm
+
+
+class TestConfigs:
+    def test_tiny_config_valid(self):
+        cfg = CM1Config.tiny()
+        assert cfg.shape == (44, 44, 12)
+        assert "dbz" in cfg.fields
+
+    def test_dbz_always_in_fields(self):
+        cfg = CM1Config(shape=(8, 8, 8), fields=("qr",))
+        assert "dbz" in cfg.fields and "qr" in cfg.fields
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            CM1Config(shape=(2, 8, 8))
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            CM1Config(shape=(8, 8, 8), iteration_stride=0)
+
+    def test_storm_config_validation(self):
+        with pytest.raises(ValueError):
+            StormConfig(initial_radius=-0.1)
+        with pytest.raises(ValueError):
+            StormConfig(core_height=1.5)
+        with pytest.raises(ValueError):
+            StormConfig(radius_growth_per_iteration=-0.1)
+
+    def test_paper_scale_shape(self):
+        assert CM1Config.paper_scale().shape == (2200, 2200, 380)
+
+
+class TestStorm:
+    def setup_method(self):
+        self.storm = SupercellStorm(StormConfig())
+        n = 32
+        x = np.linspace(0, 1, n)
+        self.mesh = np.meshgrid(x, x, np.linspace(0, 1, 8), indexing="ij")
+
+    def test_geometry_grows_and_moves(self):
+        g0 = self.storm.geometry(0)
+        g20 = self.storm.geometry(20)
+        assert g20.radius >= g0.radius
+        assert g20.center != g0.center
+        assert 0.0 < g0.intensity <= 1.0
+
+    def test_geometry_radius_saturates(self):
+        g = self.storm.geometry(10_000)
+        assert g.radius == pytest.approx(self.storm.config.max_radius)
+
+    def test_negative_iteration_rejected(self):
+        with pytest.raises(ValueError):
+            self.storm.geometry(-1)
+
+    def test_envelopes_in_unit_range(self):
+        env = self.storm.envelopes(*self.mesh, iteration=5)
+        for name in ("core", "hook", "weak_echo", "anvil", "updraft"):
+            assert env[name].min() >= 0.0
+            assert env[name].max() <= 1.5  # intensity-scaled envelopes stay bounded
+
+    def test_core_peaks_near_center(self):
+        env = self.storm.envelopes(*self.mesh, iteration=5)
+        geo = self.storm.geometry(5)
+        idx = np.unravel_index(np.argmax(env["core"]), env["core"].shape)
+        xn = self.mesh[0][idx]
+        yn = self.mesh[1][idx]
+        assert abs(xn - geo.center[0]) < 0.15
+        assert abs(yn - geo.center[1]) < 0.15
+
+    def test_interest_mask_is_localized(self):
+        mask = self.storm.interest_mask(*self.mesh, iteration=5)
+        fraction = mask.mean()
+        assert 0.0 < fraction < 0.5
+
+
+class TestMicrophysics:
+    def test_mixing_ratios_nonnegative_and_localized(self):
+        storm = SupercellStorm(StormConfig())
+        micro = Microphysics(storm, seed=1)
+        n = 24
+        x = np.linspace(0, 1, n)
+        mesh = np.meshgrid(x, x, np.linspace(0, 1, 8), indexing="ij")
+        ratios = micro.mixing_ratios(*mesh, iteration=3)
+        for name in ("qr", "qs", "qg"):
+            q = ratios[name]
+            assert q.min() >= 0.0
+            assert q.max() > 0.0
+            # Most of the domain is quiet.
+            assert (q > 0.1 * q.max()).mean() < 0.5
+
+    def test_deterministic_given_seed(self):
+        storm = SupercellStorm(StormConfig())
+        n = 16
+        x = np.linspace(0, 1, n)
+        mesh = np.meshgrid(x, x, x[:6], indexing="ij")
+        a = Microphysics(storm, seed=7).mixing_ratios(*mesh, iteration=2)
+        b = Microphysics(storm, seed=7).mixing_ratios(*mesh, iteration=2)
+        for name in a:
+            np.testing.assert_array_equal(a[name], b[name])
+
+    def test_different_seed_differs(self):
+        storm = SupercellStorm(StormConfig())
+        n = 16
+        x = np.linspace(0, 1, n)
+        mesh = np.meshgrid(x, x, x[:6], indexing="ij")
+        a = Microphysics(storm, seed=7).mixing_ratios(*mesh, iteration=2)
+        b = Microphysics(storm, seed=8).mixing_ratios(*mesh, iteration=2)
+        assert not np.allclose(a["qr"], b["qr"])
+
+    def test_correlated_noise_unit_variance(self):
+        noise = correlated_noise((32, 32, 8), sigma_points=2.0, seed=3)
+        assert noise.std() == pytest.approx(1.0, rel=1e-6)
+        assert noise.shape == (32, 32, 8)
+
+
+class TestReflectivity:
+    def test_range_clipped(self):
+        q = {"qr": np.array([[[0.0, 1e-2, 10.0]]])}
+        dbz = reflectivity_dbz(q)
+        assert dbz.min() >= DBZ_MIN and dbz.max() <= DBZ_MAX
+
+    def test_zero_mixing_ratio_is_floor(self):
+        dbz = reflectivity_dbz({"qr": np.zeros((2, 2, 2))})
+        np.testing.assert_allclose(dbz, DBZ_MIN)
+
+    def test_monotone_in_rain_content(self):
+        small = reflectivity_dbz({"qr": np.full((1, 1, 1), 1e-4)})
+        big = reflectivity_dbz({"qr": np.full((1, 1, 1), 5e-3)})
+        assert big > small
+
+    def test_species_sum(self):
+        q = {"qr": np.full((1, 1, 1), 1e-3), "qg": np.full((1, 1, 1), 1e-3)}
+        z_both = equivalent_reflectivity(q)
+        z_rain = equivalent_reflectivity({"qr": q["qr"]})
+        assert z_both > z_rain
+
+    def test_unknown_species_only_rejected(self):
+        with pytest.raises(ValueError):
+            reflectivity_dbz({"qx": np.ones((1, 1, 1))})
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            reflectivity_dbz({"qr": np.ones((1, 1, 1))}, rho_air=0.0)
+
+    @settings(deadline=None, max_examples=30)
+    @given(q=st.floats(min_value=0.0, max_value=0.05, allow_nan=False))
+    def test_dbz_always_in_physical_range_property(self, q):
+        dbz = reflectivity_dbz({"qr": np.full((1, 1, 1), q)})
+        assert DBZ_MIN <= float(dbz.item()) <= DBZ_MAX
+
+
+class TestWindField:
+    def test_wind_components_present_and_bounded(self):
+        storm = SupercellStorm(StormConfig())
+        wind = WindField(storm)
+        n = 20
+        x = np.linspace(0, 1, n)
+        mesh = np.meshgrid(x, x, np.linspace(0, 1, 8), indexing="ij")
+        fields = wind.winds(*mesh, iteration=4)
+        assert set(fields) == {"u", "v", "w", "theta"}
+        assert np.abs(fields["w"]).max() <= WindField.W_MAX + 1e-6
+        assert fields["w"].max() > 1.0  # there is an updraft
+        assert np.all(np.isfinite(fields["u"]))
+
+    def test_rotation_produces_opposite_winds_across_center(self):
+        storm = SupercellStorm(StormConfig(initial_center=(0.5, 0.5)))
+        wind = WindField(storm)
+        n = 41
+        x = np.linspace(0, 1, n)
+        mesh = np.meshgrid(x, x, np.array([0.2]), indexing="ij")
+        fields = wind.winds(*mesh, iteration=5)
+        v = fields["v"][:, n // 2, 0]
+        # Meridional wind has opposite rotational contributions east/west of the core.
+        assert (v[n // 4] - v[3 * n // 4]) != pytest.approx(0.0, abs=1e-9)
+
+
+class TestModelStateAndSimulation:
+    def test_state_add_and_get(self):
+        state = ModelState(iteration=0, shape=(4, 4, 4))
+        state.add("dbz", np.zeros((4, 4, 4)))
+        assert "dbz" in state
+        assert state.get("dbz").dtype == np.float32
+        assert state.nbytes() > 0
+
+    def test_state_shape_validated(self):
+        state = ModelState(iteration=0, shape=(4, 4, 4))
+        with pytest.raises(ValueError):
+            state.add("dbz", np.zeros((4, 4, 5)))
+
+    def test_snapshot_fields_and_iteration(self, tiny_simulation):
+        domain = tiny_simulation.snapshot(2)
+        assert domain.iteration == tiny_simulation.config.start_iteration + 2
+        assert domain.get_field("dbz").shape == tiny_simulation.config.shape
+
+    def test_snapshot_dbz_range_and_locality(self, tiny_field):
+        assert tiny_field.min() >= DBZ_MIN
+        assert tiny_field.max() <= DBZ_MAX
+        assert tiny_field.max() > 30.0  # there is a storm
+        # The interesting region is a minority of the domain.
+        assert (tiny_field > 20.0).mean() < 0.5
+
+    def test_storm_evolves_between_snapshots(self, tiny_simulation):
+        a = tiny_simulation.snapshot(0).get_field("dbz")
+        b = tiny_simulation.snapshot(5).get_field("dbz")
+        assert not np.allclose(a, b)
+
+    def test_extra_fields_generated_on_request(self):
+        cfg = CM1Config(shape=(24, 24, 8), fields=("dbz", "qr", "w"))
+        sim = CM1Simulation(cfg)
+        domain = sim.snapshot(0)
+        assert set(domain.field_names()) == {"dbz", "qr", "w"}
+
+    def test_iterate_yields_requested_count(self, tiny_simulation):
+        domains = list(tiny_simulation.iterate(3))
+        assert len(domains) == 3
+        assert domains[0].iteration < domains[2].iteration
+
+    def test_snapshot_deterministic(self):
+        a = CM1Simulation(CM1Config.tiny(seed=5)).snapshot(1).get_field("dbz")
+        b = CM1Simulation(CM1Config.tiny(seed=5)).snapshot(1).get_field("dbz")
+        np.testing.assert_array_equal(a, b)

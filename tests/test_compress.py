@@ -1,0 +1,246 @@
+"""Tests for the fpzip/zfp/lz-like compressors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compress.bitplane import (
+    byte_lengths,
+    float_to_ordered_uint,
+    ordered_uint_to_float,
+    pack_nibbles,
+    unpack_nibbles,
+    zigzag_decode,
+    zigzag_encode,
+)
+from repro.compress.fpzip_like import FpzipLikeCompressor
+from repro.compress.lz_like import LzLikeCompressor, lz77_compress, lz77_decompress
+from repro.compress.predictors import (
+    delta_reconstruct,
+    delta_residuals,
+    lorenzo_reconstruct,
+    lorenzo_residuals,
+)
+from repro.compress.zfp_like import ZfpLikeCompressor
+
+
+class TestBitplane:
+    def test_ordered_uint_preserves_order_float32(self):
+        values = np.array([-1e10, -1.0, -1e-20, 0.0, 1e-20, 1.0, 1e10], dtype=np.float32)
+        codes = float_to_ordered_uint(values)
+        assert np.all(np.diff(codes.astype(np.float64)) > 0)
+
+    def test_ordered_uint_roundtrip(self):
+        values = np.array([-3.5, 0.0, 1.25, -0.0, 7e8], dtype=np.float32)
+        codes = float_to_ordered_uint(values)
+        back = ordered_uint_to_float(codes, np.float32)
+        np.testing.assert_array_equal(np.abs(back), np.abs(values))
+
+    def test_ordered_uint_float64(self):
+        values = np.array([-2.0, 3.0], dtype=np.float64)
+        back = ordered_uint_to_float(float_to_ordered_uint(values), np.float64)
+        np.testing.assert_array_equal(back, values)
+
+    def test_unsupported_dtype(self):
+        with pytest.raises(ValueError):
+            float_to_ordered_uint(np.zeros(3, dtype=np.int32))
+
+    def test_zigzag_roundtrip(self):
+        values = np.array([0, -1, 1, -2, 2, 12345, -99999], dtype=np.int32)
+        codes = zigzag_encode(values, 32)
+        assert codes[0] == 0 and codes[1] == 1 and codes[2] == 2
+        back = zigzag_decode(codes, 32)
+        np.testing.assert_array_equal(back, values)
+
+    def test_zigzag_64(self):
+        values = np.array([-(2**40), 2**40], dtype=np.int64)
+        back = zigzag_decode(zigzag_encode(values, 64), 64)
+        np.testing.assert_array_equal(back, values)
+
+    def test_byte_lengths(self):
+        codes = np.array([0, 1, 255, 256, 65535, 65536, 2**24], dtype=np.uint64)
+        lengths = byte_lengths(codes, 4)
+        np.testing.assert_array_equal(lengths, [0, 1, 1, 2, 2, 3, 4])
+
+    def test_pack_unpack_nibbles(self):
+        values = np.array([0, 1, 15, 7, 3], dtype=np.uint8)
+        packed = pack_nibbles(values)
+        np.testing.assert_array_equal(unpack_nibbles(packed, 5), values)
+
+    def test_pack_nibbles_rejects_large(self):
+        with pytest.raises(ValueError):
+            pack_nibbles(np.array([16], dtype=np.uint8))
+
+
+class TestPredictors:
+    def test_lorenzo_roundtrip(self):
+        rng = np.random.default_rng(0)
+        values = float_to_ordered_uint(rng.normal(size=(5, 6, 7)).astype(np.float32))
+        residuals = lorenzo_residuals(values)
+        back = lorenzo_reconstruct(residuals)
+        np.testing.assert_array_equal(back, values)
+
+    def test_lorenzo_smooth_residuals_small(self):
+        x = np.linspace(0, 1, 16)
+        xx, yy, zz = np.meshgrid(x, x, x, indexing="ij")
+        smooth = (xx + yy + zz).astype(np.float32)
+        noisy = np.random.default_rng(1).normal(size=smooth.shape).astype(np.float32)
+        res_smooth = lorenzo_residuals(float_to_ordered_uint(smooth))
+        res_noisy = lorenzo_residuals(float_to_ordered_uint(noisy))
+        # Compare the number of "large" residuals (fair proxy for coding cost).
+        big_smooth = np.count_nonzero(res_smooth.astype(np.int64) > 2**20)
+        big_noisy = np.count_nonzero(res_noisy.astype(np.int64) > 2**20)
+        assert big_smooth < big_noisy
+
+    def test_lorenzo_requires_uint(self):
+        with pytest.raises(ValueError):
+            lorenzo_residuals(np.zeros((2, 2, 2), dtype=np.float32))
+
+    def test_delta_roundtrip(self):
+        values = float_to_ordered_uint(np.random.default_rng(2).normal(size=(4, 4, 4)).astype(np.float32))
+        np.testing.assert_array_equal(delta_reconstruct(delta_residuals(values)), values)
+
+
+class TestFpzipLike:
+    def test_lossless_roundtrip_float32(self, turbulent_block):
+        comp = FpzipLikeCompressor()
+        result = comp.compress(turbulent_block)
+        back = comp.decompress(result)
+        np.testing.assert_array_equal(back, turbulent_block)
+        assert back.dtype == turbulent_block.dtype
+
+    def test_lossless_roundtrip_float64(self):
+        data = np.random.default_rng(3).normal(size=(7, 6, 5))
+        comp = FpzipLikeCompressor()
+        np.testing.assert_array_equal(comp.decompress(comp.compress(data)), data)
+
+    def test_smooth_compresses_better_than_turbulent(self, smooth_block, turbulent_block):
+        comp = FpzipLikeCompressor()
+        assert comp.ratio(smooth_block) > comp.ratio(turbulent_block)
+
+    def test_constant_block_high_ratio(self, constant_block):
+        assert FpzipLikeCompressor().ratio(constant_block) > 3.0
+
+    def test_rejects_non_finite(self):
+        comp = FpzipLikeCompressor()
+        data = np.full((3, 3, 3), np.nan, dtype=np.float32)
+        with pytest.raises(ValueError):
+            comp.compress(data)
+
+    def test_rejects_wrong_payload(self):
+        comp = FpzipLikeCompressor()
+        result = comp.compress(np.zeros((3, 3, 3), dtype=np.float32))
+        bad = type(result)(
+            payload=b"XXXX" + result.payload[4:],
+            original_nbytes=result.original_nbytes,
+            shape=result.shape,
+            dtype=result.dtype,
+        )
+        with pytest.raises(ValueError):
+            comp.decompress(bad)
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        nx=st.integers(min_value=2, max_value=8),
+        ny=st.integers(min_value=2, max_value=8),
+        nz=st.integers(min_value=2, max_value=8),
+    )
+    def test_roundtrip_property(self, seed, nx, ny, nz):
+        """fpzip-like coding is lossless for arbitrary finite float32 blocks."""
+        data = (np.random.default_rng(seed).normal(size=(nx, ny, nz)) * 10).astype(np.float32)
+        comp = FpzipLikeCompressor()
+        np.testing.assert_array_equal(comp.decompress(comp.compress(data)), data)
+
+
+class TestZfpLike:
+    def test_reconstruction_within_bound(self, smooth_block):
+        comp = ZfpLikeCompressor(precision=18)
+        result = comp.compress(smooth_block)
+        back = comp.decompress(result)
+        bound = comp.error_bound(smooth_block)
+        assert np.abs(back - smooth_block.astype(np.float64)).max() <= bound
+
+    def test_higher_precision_lower_error(self, turbulent_block):
+        low = ZfpLikeCompressor(precision=8)
+        high = ZfpLikeCompressor(precision=24)
+        err_low = np.abs(low.decompress(low.compress(turbulent_block)) - turbulent_block).max()
+        err_high = np.abs(high.decompress(high.compress(turbulent_block)) - turbulent_block).max()
+        assert err_high <= err_low
+
+    def test_smooth_compresses_better(self, smooth_block, turbulent_block):
+        comp = ZfpLikeCompressor(precision=16)
+        assert comp.ratio(smooth_block) > comp.ratio(turbulent_block)
+
+    def test_constant_block_near_exact(self, constant_block):
+        comp = ZfpLikeCompressor(precision=16)
+        back = comp.decompress(comp.compress(constant_block))
+        np.testing.assert_allclose(back, constant_block, atol=1e-6)
+
+    def test_invalid_precision(self):
+        with pytest.raises(ValueError):
+            ZfpLikeCompressor(precision=0)
+        with pytest.raises(ValueError):
+            ZfpLikeCompressor(precision=40)
+
+    def test_non_multiple_of_four_shapes(self):
+        data = np.random.default_rng(5).normal(size=(5, 7, 3))
+        comp = ZfpLikeCompressor(precision=20)
+        back = comp.decompress(comp.compress(data))
+        assert back.shape == data.shape
+        assert np.abs(back - data).max() <= comp.error_bound(data)
+
+    @settings(deadline=None, max_examples=15)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_error_bound_property(self, seed):
+        data = np.random.default_rng(seed).uniform(-60, 80, size=(6, 6, 6))
+        comp = ZfpLikeCompressor(precision=16)
+        back = comp.decompress(comp.compress(data))
+        assert np.abs(back - data).max() <= comp.error_bound(data)
+
+
+class TestLz77:
+    def test_roundtrip_simple(self):
+        data = b"abcabcabcabcabc" * 10
+        assert lz77_decompress(lz77_compress(data)) == data
+
+    def test_roundtrip_empty(self):
+        assert lz77_decompress(lz77_compress(b"")) == b""
+
+    def test_roundtrip_no_repeats(self):
+        data = bytes(range(256))
+        assert lz77_decompress(lz77_compress(data)) == data
+
+    def test_repetitive_data_compresses(self):
+        data = b"\x00" * 4096
+        compressed = lz77_compress(data)
+        assert len(compressed) < len(data) / 4
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.binary(min_size=0, max_size=2000))
+    def test_roundtrip_property(self, data):
+        assert lz77_decompress(lz77_compress(data)) == data
+
+
+class TestLzLikeCompressor:
+    def test_lossless_roundtrip(self, turbulent_block):
+        comp = LzLikeCompressor()
+        small = turbulent_block[:6, :6, :4]
+        back = comp.decompress(comp.compress(small))
+        np.testing.assert_array_equal(back, small)
+
+    def test_smooth_better_ratio(self, smooth_block, turbulent_block):
+        comp = LzLikeCompressor()
+        assert comp.ratio(smooth_block) > comp.ratio(turbulent_block)
+
+    def test_sample_limit_bounds_cost(self):
+        comp = LzLikeCompressor(sample_limit=256)
+        data = np.random.default_rng(0).normal(size=(20, 20, 10)).astype(np.float32)
+        ratio = comp.ratio(data)
+        assert ratio > 0
+
+    def test_invalid_sample_limit(self):
+        with pytest.raises(ValueError):
+            LzLikeCompressor(sample_limit=2)

@@ -1,0 +1,199 @@
+"""Tests for the individual pipeline steps (scoring, sorting, reduction, redistribution, rendering)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.redistribution import (
+    NoRedistribution,
+    RandomShuffle,
+    RoundRobin,
+    make_strategy,
+)
+from repro.core.reduction_step import ReductionStep, select_blocks_to_reduce
+from repro.core.rendering_step import RenderingStep
+from repro.core.scoring_step import ScoringStep
+from repro.core.sorting_step import SortingStep
+from repro.grid.decomposition import CartesianDecomposition
+from repro.metrics.registry import create_metric
+from repro.perfmodel.platform import PlatformModel
+from repro.simmpi.communicator import BSPCommunicator
+
+
+@pytest.fixture()
+def per_rank_blocks(tiny_field):
+    decomp = CartesianDecomposition(tiny_field.shape, nranks=4, blocks_per_subdomain=(2, 2, 1))
+    return [decomp.extract_blocks(r, tiny_field) for r in range(4)]
+
+
+@pytest.fixture()
+def platform():
+    return PlatformModel.blue_waters(4)
+
+
+class TestScoringStep:
+    def test_scores_every_block(self, per_rank_blocks, platform):
+        step = ScoringStep(create_metric("VAR"), platform)
+        pairs, scored, info = step.run(per_rank_blocks)
+        assert len(pairs) == 4
+        total = sum(len(p) for p in pairs)
+        assert total == sum(len(b) for b in per_rank_blocks)
+        for rank_blocks in scored:
+            for blk in rank_blocks:
+                assert blk.score is not None
+        assert info["modelled_max"] > 0
+
+    def test_scores_match_metric(self, per_rank_blocks, platform):
+        metric = create_metric("RANGE")
+        step = ScoringStep(metric, platform)
+        pairs, scored, _ = step.run(per_rank_blocks)
+        for (bid, score), blk in zip(pairs[0], per_rank_blocks[0]):
+            assert bid == blk.block_id
+            assert score == pytest.approx(metric.score_block(blk.data))
+
+
+class TestSortingStep:
+    def test_global_sort(self, per_rank_blocks, platform):
+        comm = BSPCommunicator(4, cost_model=platform.network)
+        scoring = ScoringStep(create_metric("VAR"), platform)
+        pairs, _, _ = scoring.run(per_rank_blocks)
+        sorted_pairs, info = SortingStep(comm).run(pairs)
+        scores = [s for _, s in sorted_pairs]
+        assert scores == sorted(scores)
+        assert len(sorted_pairs) == sum(len(p) for p in pairs)
+        assert info["modelled"] >= 0
+
+
+class TestReductionSelection:
+    def test_zero_and_full_percent(self):
+        pairs = [(i, float(i)) for i in range(10)]
+        assert select_blocks_to_reduce(pairs, 0.0) == set()
+        assert select_blocks_to_reduce(pairs, 100.0) == set(range(10))
+
+    def test_fifty_percent_takes_lowest_scores(self):
+        pairs = [(i, float(i)) for i in range(10)]
+        assert select_blocks_to_reduce(pairs, 50.0) == {0, 1, 2, 3, 4}
+
+    def test_percent_out_of_range(self):
+        with pytest.raises(ValueError):
+            select_blocks_to_reduce([], 150.0)
+
+    @settings(deadline=None, max_examples=50)
+    @given(
+        nblocks=st.integers(min_value=1, max_value=200),
+        percent=st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_selection_size_property(self, nblocks, percent):
+        pairs = [(i, float(i % 7)) for i in range(nblocks)]
+        pairs = sorted(pairs, key=lambda p: (p[1], p[0]))
+        selected = select_blocks_to_reduce(pairs, percent)
+        assert len(selected) == min(nblocks, int(round(nblocks * percent / 100.0)))
+
+    def test_reduction_step_reduces_selected(self, per_rank_blocks):
+        all_pairs = sorted(
+            [(b.block_id, float(b.block_id)) for blocks in per_rank_blocks for b in blocks],
+            key=lambda p: (p[1], p[0]),
+        )
+        step = ReductionStep()
+        out, reduced_ids, info = step.run(per_rank_blocks, all_pairs, percent=50.0)
+        assert info["nreduced"] == len(reduced_ids)
+        for blocks in out:
+            for blk in blocks:
+                assert blk.reduced == (blk.block_id in reduced_ids)
+                if blk.reduced:
+                    assert blk.data.shape == (2, 2, 2)
+
+
+class TestRedistribution:
+    def _pairs(self, per_rank_blocks):
+        return sorted(
+            [(b.block_id, float(b.block_id % 5)) for blocks in per_rank_blocks for b in blocks],
+            key=lambda p: (p[1], p[0]),
+        )
+
+    def test_none_strategy_keeps_everything(self, per_rank_blocks, platform):
+        comm = BSPCommunicator(4, cost_model=platform.network)
+        out, info = NoRedistribution().redistribute(comm, per_rank_blocks, self._pairs(per_rank_blocks), 0)
+        assert info["modelled"] == 0.0
+        for original, new in zip(per_rank_blocks, out):
+            assert [b.block_id for b in original] == [b.block_id for b in new]
+
+    def test_round_robin_assignment_order(self):
+        pairs = [(i, float(i)) for i in range(8)]  # ascending scores
+        owners = RoundRobin().assign_owners(pairs, nranks=4, iteration=0)
+        # Highest score (id 7) goes to rank 0, next (id 6) to rank 1, ...
+        assert owners[7] == 0 and owners[6] == 1 and owners[5] == 2 and owners[4] == 3
+        assert owners[3] == 0
+
+    def test_round_robin_counts_balanced(self):
+        pairs = [(i, float(i)) for i in range(16)]
+        owners = RoundRobin().assign_owners(pairs, nranks=4, iteration=0)
+        counts = np.bincount(list(owners.values()), minlength=4)
+        assert counts.max() - counts.min() <= 1
+
+    def test_shuffle_same_seed_same_assignment(self):
+        pairs = [(i, float(i)) for i in range(20)]
+        a = RandomShuffle(seed=5).assign_owners(pairs, 4, iteration=3)
+        b = RandomShuffle(seed=5).assign_owners(pairs, 4, iteration=3)
+        assert a == b
+
+    def test_shuffle_counts_constant_per_rank(self):
+        pairs = [(i, float(i)) for i in range(20)]
+        owners = RandomShuffle(seed=1).assign_owners(pairs, 4, iteration=0)
+        counts = np.bincount(list(owners.values()), minlength=4)
+        assert counts.max() - counts.min() <= 1
+
+    def test_shuffle_differs_across_iterations(self):
+        pairs = [(i, float(i)) for i in range(40)]
+        a = RandomShuffle(seed=5).assign_owners(pairs, 4, iteration=0)
+        b = RandomShuffle(seed=5).assign_owners(pairs, 4, iteration=1)
+        assert a != b
+
+    def test_redistribute_preserves_blocks(self, per_rank_blocks, platform):
+        comm = BSPCommunicator(4, cost_model=platform.network)
+        pairs = self._pairs(per_rank_blocks)
+        out, info = RoundRobin().redistribute(comm, per_rank_blocks, pairs, 0)
+        original_ids = sorted(b.block_id for blocks in per_rank_blocks for b in blocks)
+        new_ids = sorted(b.block_id for blocks in out for b in blocks)
+        assert new_ids == original_ids
+        assert info["modelled"] > 0.0
+        assert info["moved_bytes"] > 0
+        # Owners updated to the rank actually holding the block.
+        for rank, blocks in enumerate(out):
+            assert all(b.owner == rank for b in blocks)
+
+    def test_redistribute_block_counts_constant(self, per_rank_blocks, platform):
+        comm = BSPCommunicator(4, cost_model=platform.network)
+        out, _ = RandomShuffle(seed=2).redistribute(
+            comm, per_rank_blocks, self._pairs(per_rank_blocks), 0
+        )
+        counts = [len(blocks) for blocks in out]
+        assert max(counts) - min(counts) <= 1
+
+    def test_make_strategy_factory(self):
+        assert isinstance(make_strategy("none"), NoRedistribution)
+        assert isinstance(make_strategy("shuffle"), RandomShuffle)
+        assert isinstance(make_strategy("round_robin"), RoundRobin)
+        assert isinstance(make_strategy("RR"), RoundRobin)
+        with pytest.raises(ValueError):
+            make_strategy("bogus")
+
+
+class TestRenderingStep:
+    def test_rendering_counts_and_makespan(self, per_rank_blocks, platform):
+        step = RenderingStep(platform, isosurface_level=45.0, render_mode="count")
+        results, info = step.run(per_rank_blocks, iteration=0)
+        assert len(results) == 4
+        assert info["modelled_max"] >= max(info["modelled_per_rank"]) - 1e-12
+        assert info["total_triangles"] == sum(info["triangles_per_rank"])
+
+    def test_reduced_workload_is_cheaper(self, per_rank_blocks, platform):
+        from repro.grid.reduction import reduce_block
+
+        step = RenderingStep(platform, render_mode="count")
+        _, full_info = step.run(per_rank_blocks, iteration=0)
+        reduced = [[reduce_block(b) for b in blocks] for blocks in per_rank_blocks]
+        _, red_info = step.run(reduced, iteration=0)
+        assert red_info["modelled_max"] <= full_info["modelled_max"]

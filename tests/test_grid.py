@@ -1,0 +1,357 @@
+"""Tests for repro.grid: rectilinear grids, blocks, decomposition, reduction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.grid.block import Block, BlockExtent
+from repro.grid.decomposition import CartesianDecomposition, factorize_ranks, split_axis
+from repro.grid.domain import Domain
+from repro.grid.rectilinear import RectilinearGrid, stretched_axis, uniform_axis
+from repro.grid.reduction import (
+    expand_from_corners,
+    reconstruct_block,
+    reduce_block,
+    reduce_to_corners,
+    reduction_error,
+    trilinear_sample,
+)
+
+
+class TestRectilinearGrid:
+    def test_uniform_shape_and_extent(self):
+        grid = RectilinearGrid.uniform((10, 20, 5), extent=(1.0, 2.0, 0.5))
+        assert grid.shape == (10, 20, 5)
+        assert grid.extent == pytest.approx((1.0, 2.0, 0.5))
+        assert grid.npoints == 10 * 20 * 5
+
+    def test_axes_strictly_increasing_required(self):
+        with pytest.raises(ValueError):
+            RectilinearGrid(np.array([0.0, 0.0, 1.0]), np.arange(3.0), np.arange(3.0))
+
+    def test_cm1_like_is_stretched(self):
+        grid = RectilinearGrid.cm1_like((60, 60, 10))
+        dx = np.diff(grid.x)
+        # Border spacing is larger than the interior spacing.
+        assert dx[0] > dx[len(dx) // 2]
+        assert dx[-1] > dx[len(dx) // 2]
+
+    def test_subgrid(self):
+        grid = RectilinearGrid.uniform((10, 10, 10))
+        sub = grid.subgrid((slice(2, 5), slice(0, 3), slice(4, 10)))
+        assert sub.shape == (3, 3, 6)
+
+    def test_cell_volumes_positive(self):
+        grid = RectilinearGrid.cm1_like((12, 12, 6))
+        vols = grid.cell_volumes()
+        assert vols.shape == (11, 11, 5)
+        assert np.all(vols > 0)
+
+    def test_uniform_axis_errors(self):
+        with pytest.raises(ValueError):
+            uniform_axis(0, 1.0)
+        with pytest.raises(ValueError):
+            uniform_axis(3, -1.0)
+
+    def test_stretched_axis_monotone(self):
+        axis = stretched_axis(50, 10.0, stretch_factor=3.0)
+        assert axis.size == 50
+        assert np.all(np.diff(axis) > 0)
+
+    def test_stretched_axis_validation(self):
+        with pytest.raises(ValueError):
+            stretched_axis(3, 1.0)
+        with pytest.raises(ValueError):
+            stretched_axis(20, 1.0, stretch_factor=0.5)
+        with pytest.raises(ValueError):
+            stretched_axis(20, 1.0, stretch_fraction=0.7)
+
+
+class TestBlockExtent:
+    def test_shape_npoints_slices(self):
+        ext = BlockExtent((1, 2, 3), (4, 6, 5))
+        assert ext.shape == (3, 4, 2)
+        assert ext.npoints == 24
+        assert ext.slices == (slice(1, 4), slice(2, 6), slice(3, 5))
+
+    def test_invalid_extent(self):
+        with pytest.raises(ValueError):
+            BlockExtent((0, 0, 0), (0, 1, 1))
+        with pytest.raises(ValueError):
+            BlockExtent((-1, 0, 0), (1, 1, 1))
+
+    def test_contains(self):
+        ext = BlockExtent((0, 0, 0), (2, 2, 2))
+        assert ext.contains((1, 1, 1))
+        assert not ext.contains((2, 0, 0))
+
+    def test_overlaps(self):
+        a = BlockExtent((0, 0, 0), (4, 4, 4))
+        b = BlockExtent((3, 3, 3), (6, 6, 6))
+        c = BlockExtent((4, 4, 4), (6, 6, 6))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_corner_indices(self):
+        ext = BlockExtent((0, 0, 0), (3, 3, 3))
+        corners = ext.corner_indices()
+        assert len(corners) == 8
+        assert (0, 0, 0) in corners and (2, 2, 2) in corners
+
+
+class TestBlock:
+    def test_full_block_shape_checked(self):
+        ext = BlockExtent((0, 0, 0), (2, 3, 4))
+        with pytest.raises(ValueError):
+            Block(0, ext, np.zeros((2, 3, 5)))
+
+    def test_reduced_block_must_be_2x2x2(self):
+        ext = BlockExtent((0, 0, 0), (5, 5, 5))
+        Block(0, ext, np.zeros((2, 2, 2)), reduced=True)
+        with pytest.raises(ValueError):
+            Block(0, ext, np.zeros((3, 3, 3)), reduced=True)
+
+    def test_with_owner_and_score(self):
+        ext = BlockExtent((0, 0, 0), (2, 2, 2))
+        blk = Block(1, ext, np.zeros((2, 2, 2)))
+        blk2 = blk.with_owner(3).with_score(4.5)
+        assert blk2.owner == 3 and blk2.score == 4.5
+        assert blk.owner == 0  # original unchanged
+
+    def test_nbytes_and_points(self):
+        ext = BlockExtent((0, 0, 0), (4, 4, 4))
+        data = np.zeros((4, 4, 4), dtype=np.float32)
+        blk = Block(0, ext, data)
+        assert blk.nbytes == 4 * 64
+        assert blk.npoints_payload == 64
+        assert blk.npoints_full == 64
+
+    def test_value_range(self):
+        ext = BlockExtent((0, 0, 0), (2, 2, 2))
+        blk = Block(0, ext, np.arange(8, dtype=float).reshape(2, 2, 2))
+        assert blk.value_range() == (0.0, 7.0)
+
+    def test_negative_block_id_rejected(self):
+        ext = BlockExtent((0, 0, 0), (2, 2, 2))
+        with pytest.raises(ValueError):
+            Block(-1, ext, np.zeros((2, 2, 2)))
+
+
+class TestFactorization:
+    def test_factorize_64(self):
+        assert factorize_ranks(64) == (4, 4, 4)
+
+    def test_factorize_400(self):
+        dims = factorize_ranks(400)
+        assert np.prod(dims) == 400
+
+    def test_factorize_2d(self):
+        dims = factorize_ranks(64, ndims=2)
+        assert len(dims) == 2 and np.prod(dims) == 64
+
+    def test_factorize_prime(self):
+        assert factorize_ranks(7) == (7, 1, 1)
+
+    def test_factorize_one(self):
+        assert factorize_ranks(1) == (1, 1, 1)
+
+    @given(st.integers(min_value=1, max_value=512), st.integers(min_value=1, max_value=3))
+    def test_factorize_product_property(self, n, ndims):
+        dims = factorize_ranks(n, ndims)
+        assert int(np.prod(dims)) == n
+
+    def test_split_axis_covers_all(self):
+        ranges = split_axis(23, 4)
+        assert ranges[0][0] == 0 and ranges[-1][1] == 23
+        total = sum(hi - lo for lo, hi in ranges)
+        assert total == 23
+
+    def test_split_axis_errors(self):
+        with pytest.raises(ValueError):
+            split_axis(3, 5)
+        with pytest.raises(ValueError):
+            split_axis(3, 0)
+
+    @given(st.integers(min_value=1, max_value=500), st.integers(min_value=1, max_value=32))
+    def test_split_axis_property(self, npoints, nparts):
+        if npoints < nparts:
+            return
+        ranges = split_axis(npoints, nparts)
+        sizes = [hi - lo for lo, hi in ranges]
+        assert sum(sizes) == npoints
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestCartesianDecomposition:
+    def test_coverage(self):
+        decomp = CartesianDecomposition((16, 16, 8), nranks=4, blocks_per_subdomain=(2, 2, 1))
+        assert decomp.validate_coverage()
+
+    def test_rank_coords_roundtrip(self):
+        decomp = CartesianDecomposition((16, 16, 8), nranks=8)
+        for rank in range(8):
+            coords = decomp.rank_coords(rank)
+            assert decomp.rank_from_coords(coords) == rank
+
+    def test_block_ids_and_owner(self):
+        decomp = CartesianDecomposition((16, 16, 8), nranks=4, blocks_per_subdomain=(2, 1, 1))
+        assert decomp.nblocks == 8
+        for rank in range(4):
+            for bid in decomp.block_ids(rank):
+                assert decomp.owner_of_block(bid) == rank
+
+    def test_block_extent_lookup_consistent(self):
+        decomp = CartesianDecomposition((16, 12, 8), nranks=2, blocks_per_subdomain=(2, 2, 2))
+        all_extents = decomp.all_block_extents()
+        for bid, ext in all_extents.items():
+            assert decomp.block_extent(bid) == ext
+
+    def test_extract_blocks_content(self):
+        shape = (8, 8, 4)
+        field = np.arange(np.prod(shape), dtype=np.float64).reshape(shape)
+        decomp = CartesianDecomposition(shape, nranks=2, blocks_per_subdomain=(1, 1, 1))
+        blocks = decomp.extract_blocks(0, field)
+        for blk in blocks:
+            np.testing.assert_array_equal(blk.data, field[blk.extent.slices])
+
+    def test_extract_blocks_wrong_shape(self):
+        decomp = CartesianDecomposition((8, 8, 4), nranks=2)
+        with pytest.raises(ValueError):
+            decomp.extract_blocks(0, np.zeros((4, 4, 4)))
+
+    def test_rank_dims_override(self):
+        decomp = CartesianDecomposition(
+            (20, 20, 10), nranks=4, rank_dims_override=(4, 1, 1)
+        )
+        assert decomp.rank_dims == (4, 1, 1)
+
+    def test_rank_dims_override_mismatch(self):
+        with pytest.raises(ValueError):
+            CartesianDecomposition((20, 20, 10), nranks=4, rank_dims_override=(2, 1, 1))
+
+    def test_too_many_parts_rejected(self):
+        with pytest.raises(ValueError):
+            CartesianDecomposition((4, 4, 2), nranks=64)
+
+    def test_invalid_rank_queries(self):
+        decomp = CartesianDecomposition((8, 8, 4), nranks=2)
+        with pytest.raises(ValueError):
+            decomp.block_ids(5)
+        with pytest.raises(ValueError):
+            decomp.owner_of_block(1000)
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        nranks=st.sampled_from([1, 2, 4, 8]),
+        bps=st.sampled_from([(1, 1, 1), (2, 1, 1), (2, 2, 1), (2, 2, 2)]),
+    )
+    def test_blocks_tile_domain_property(self, nranks, bps):
+        decomp = CartesianDecomposition((24, 24, 12), nranks=nranks, blocks_per_subdomain=bps)
+        total_points = sum(e.npoints for e in decomp.all_block_extents().values())
+        assert total_points == 24 * 24 * 12
+
+
+class TestDomain:
+    def test_field_shape_validated(self, tiny_domain):
+        with pytest.raises(ValueError):
+            tiny_domain.add_field("bad", np.zeros((2, 2, 2)))
+
+    def test_subdomain_assemble_matches_field(self, tiny_domain):
+        decomp = tiny_domain.decompose(4, blocks_per_subdomain=(2, 2, 1))
+        field = tiny_domain.get_field("dbz")
+        for rank in range(4):
+            sub = tiny_domain.subdomain(decomp, rank)
+            np.testing.assert_allclose(
+                sub.assemble(), field[decomp.subdomain_extent(rank).slices], rtol=1e-6
+            )
+
+    def test_subdomain_block_lookup(self, tiny_domain):
+        decomp = tiny_domain.decompose(2)
+        sub = tiny_domain.subdomain(decomp, 0)
+        first = sub.blocks[0]
+        assert sub.block_by_id(first.block_id) is first
+        assert sub.block_by_id(999999) is None
+
+    def test_field_names(self, tiny_domain):
+        assert "dbz" in tiny_domain.field_names()
+
+
+class TestReduction:
+    def test_corner_values_preserved(self):
+        data = np.random.default_rng(0).normal(size=(6, 5, 4))
+        corners = reduce_to_corners(data)
+        assert corners.shape == (2, 2, 2)
+        assert corners[0, 0, 0] == data[0, 0, 0]
+        assert corners[1, 1, 1] == data[-1, -1, -1]
+        assert corners[1, 0, 1] == data[-1, 0, -1]
+
+    def test_expand_exact_for_linear_field(self):
+        x = np.linspace(0, 1, 7)
+        y = np.linspace(0, 1, 6)
+        z = np.linspace(0, 1, 5)
+        xx, yy, zz = np.meshgrid(x, y, z, indexing="ij")
+        data = 2.0 * xx - 3.0 * yy + 0.5 * zz + 1.0
+        rebuilt = expand_from_corners(reduce_to_corners(data), data.shape)
+        np.testing.assert_allclose(rebuilt, data, atol=1e-12)
+
+    def test_reduction_error_zero_for_linear(self):
+        x = np.linspace(0, 1, 5)
+        xx, yy, zz = np.meshgrid(x, x, x, indexing="ij")
+        assert reduction_error(xx + yy + zz) == pytest.approx(0.0, abs=1e-20)
+
+    def test_reduction_error_positive_for_nonlinear(self):
+        x = np.linspace(0, 2 * np.pi, 9)
+        xx, yy, zz = np.meshgrid(x, x, x, indexing="ij")
+        assert reduction_error(np.sin(xx) * np.cos(yy)) > 0.0
+
+    def test_trilinear_sample_corners(self):
+        corners = np.arange(8, dtype=float).reshape(2, 2, 2)
+        assert trilinear_sample(corners, 0, 0, 0) == pytest.approx(corners[0, 0, 0])
+        assert trilinear_sample(corners, 1, 1, 1) == pytest.approx(corners[1, 1, 1])
+
+    def test_trilinear_sample_bad_shape(self):
+        with pytest.raises(ValueError):
+            trilinear_sample(np.zeros((3, 2, 2)), 0.5, 0.5, 0.5)
+
+    def test_reduce_block_roundtrip_shape(self):
+        ext = BlockExtent((0, 0, 0), (6, 6, 4))
+        blk = Block(0, ext, np.random.default_rng(1).normal(size=(6, 6, 4)))
+        red = reduce_block(blk)
+        assert red.reduced and red.data.shape == (2, 2, 2)
+        # Reducing twice is a no-op.
+        assert reduce_block(red) is red
+        rebuilt = reconstruct_block(red)
+        assert rebuilt.shape == (6, 6, 4)
+
+    def test_reconstruct_full_block_is_identity(self):
+        ext = BlockExtent((0, 0, 0), (3, 3, 3))
+        data = np.random.default_rng(2).normal(size=(3, 3, 3))
+        blk = Block(0, ext, data)
+        np.testing.assert_array_equal(reconstruct_block(blk), data)
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        nx=st.integers(min_value=2, max_value=10),
+        ny=st.integers(min_value=2, max_value=10),
+        nz=st.integers(min_value=2, max_value=8),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_expand_bounded_by_corner_range_property(self, nx, ny, nz, seed):
+        """Trilinear interpolation never exceeds the range of the corner values."""
+        data = np.random.default_rng(seed).uniform(-5, 5, size=(nx, ny, nz))
+        corners = reduce_to_corners(data)
+        rebuilt = expand_from_corners(corners, data.shape)
+        assert rebuilt.min() >= corners.min() - 1e-9
+        assert rebuilt.max() <= corners.max() + 1e-9
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        nx=st.integers(min_value=1, max_value=8),
+        ny=st.integers(min_value=1, max_value=8),
+        nz=st.integers(min_value=1, max_value=8),
+    )
+    def test_reduce_to_corners_always_2x2x2_property(self, nx, ny, nz):
+        data = np.zeros((nx, ny, nz))
+        assert reduce_to_corners(data).shape == (2, 2, 2)

@@ -1,0 +1,174 @@
+"""Tests for repro.io and the CM1 dataset replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cm1.config import CM1Config
+from repro.cm1.dataset import CM1Dataset, StoredCM1Dataset
+from repro.grid.decomposition import CartesianDecomposition
+from repro.grid.domain import Domain
+from repro.grid.rectilinear import RectilinearGrid
+from repro.io.manifest import DatasetManifest, IterationRecord
+from repro.io.replay import DatasetReplayer, equally_spaced
+from repro.io.store import DatasetStore
+
+
+class TestManifest:
+    def test_json_roundtrip(self):
+        manifest = DatasetManifest(shape=(4, 4, 2))
+        manifest.add_iteration(IterationRecord(5, "iter_5.npz", ["dbz"], 100))
+        restored = DatasetManifest.from_json(manifest.to_json())
+        assert restored.shape == (4, 4, 2)
+        assert restored.iterations[0].iteration == 5
+
+    def test_iterations_must_increase(self):
+        manifest = DatasetManifest(shape=(4, 4, 2))
+        manifest.add_iteration(IterationRecord(5, "a.npz", ["dbz"]))
+        with pytest.raises(ValueError):
+            manifest.add_iteration(IterationRecord(5, "b.npz", ["dbz"]))
+
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            IterationRecord(-1, "a.npz", ["dbz"]).validate()
+        with pytest.raises(ValueError):
+            IterationRecord(1, "", ["dbz"]).validate()
+        with pytest.raises(ValueError):
+            IterationRecord(1, "a.npz", []).validate()
+
+    def test_find(self):
+        manifest = DatasetManifest(shape=(4, 4, 2))
+        manifest.add_iteration(IterationRecord(3, "a.npz", ["dbz"]))
+        assert manifest.find(3) is not None
+        assert manifest.find(4) is None
+
+    def test_unsupported_version(self):
+        manifest = DatasetManifest(shape=(4, 4, 2))
+        text = manifest.to_json().replace('"version": 1', '"version": 99')
+        with pytest.raises(ValueError):
+            DatasetManifest.from_json(text)
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            DatasetManifest.load(tmp_path)
+
+
+class TestDatasetStore:
+    def _domain(self, iteration=0, value=1.0):
+        grid = RectilinearGrid.uniform((6, 6, 4))
+        field = np.full((6, 6, 4), value, dtype=np.float32)
+        return Domain(grid=grid, fields={"dbz": field}, iteration=iteration)
+
+    def test_create_append_load(self, tmp_path):
+        store = DatasetStore(tmp_path / "ds")
+        store.create(RectilinearGrid.uniform((6, 6, 4)), metadata={"seed": 1})
+        store.append(self._domain(0, 1.0))
+        store.append(self._domain(2, 2.0))
+        assert store.iterations() == [0, 2]
+        loaded = store.load_iteration(2)
+        np.testing.assert_allclose(loaded.get_field("dbz"), 2.0)
+        assert loaded.iteration == 2
+
+    def test_create_twice_rejected(self, tmp_path):
+        store = DatasetStore(tmp_path / "ds")
+        store.create(RectilinearGrid.uniform((6, 6, 4)))
+        with pytest.raises(FileExistsError):
+            store.create(RectilinearGrid.uniform((6, 6, 4)))
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        store = DatasetStore(tmp_path / "ds")
+        store.create(RectilinearGrid.uniform((6, 6, 4)))
+        grid = RectilinearGrid.uniform((5, 5, 4))
+        bad = Domain(grid=grid, fields={"dbz": np.zeros((5, 5, 4))}, iteration=0)
+        with pytest.raises(ValueError):
+            store.append(bad)
+
+    def test_missing_iteration(self, tmp_path):
+        store = DatasetStore(tmp_path / "ds")
+        store.create(RectilinearGrid.uniform((6, 6, 4)))
+        with pytest.raises(KeyError):
+            store.load_iteration(7)
+
+    def test_missing_field(self, tmp_path):
+        store = DatasetStore(tmp_path / "ds")
+        store.create(RectilinearGrid.uniform((6, 6, 4)))
+        store.append(self._domain(0))
+        with pytest.raises(KeyError):
+            store.load_iteration(0, fields=["nonexistent"])
+
+    def test_grid_roundtrip(self, tmp_path):
+        store = DatasetStore(tmp_path / "ds")
+        grid = RectilinearGrid.cm1_like((8, 8, 6))
+        store.create(grid)
+        loaded = store.grid()
+        np.testing.assert_allclose(loaded.x, grid.x)
+
+
+class TestReplay:
+    def test_equally_spaced_selection(self):
+        available = list(range(100))
+        picks = equally_spaced(available, 10)
+        assert len(picks) == 10
+        assert picks[0] == 0 and picks[-1] == 99
+
+    def test_equally_spaced_more_than_available(self):
+        assert equally_spaced([1, 2, 3], 10) == [1, 2, 3]
+
+    def test_equally_spaced_errors(self):
+        with pytest.raises(ValueError):
+            equally_spaced([], 3)
+        with pytest.raises(ValueError):
+            equally_spaced([1], 0)
+
+    def test_replayer_per_rank_blocks(self, tmp_path):
+        config = CM1Config.tiny()
+        dataset = CM1Dataset(config, nsnapshots=3)
+        store = dataset.save(tmp_path / "cm1")
+        replayer = DatasetReplayer(store)
+        decomp = CartesianDecomposition(config.shape, nranks=2, blocks_per_subdomain=(2, 1, 1))
+        iterations = list(replayer.per_rank_blocks(decomp, count=2))
+        assert len(iterations) == 2
+        assert len(iterations[0]) == 2  # per rank
+        total_blocks = sum(len(blocks) for blocks in iterations[0])
+        assert total_blocks == decomp.nblocks
+
+
+class TestCM1Dataset:
+    def test_len_iter_and_cache(self):
+        dataset = CM1Dataset(CM1Config.tiny(), nsnapshots=3)
+        assert len(dataset) == 3
+        snapshots = list(dataset)
+        assert len(snapshots) == 3
+        assert dataset.snapshot(1) is snapshots[1]  # cached object identity
+
+    def test_index_bounds(self):
+        dataset = CM1Dataset(CM1Config.tiny(), nsnapshots=2)
+        with pytest.raises(IndexError):
+            dataset.snapshot(2)
+
+    def test_select_equally_spaced(self):
+        dataset = CM1Dataset(CM1Config.tiny(), nsnapshots=10)
+        assert dataset.select(3) == [0, 4, 9] or len(dataset.select(3)) == 3
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        dataset = CM1Dataset(CM1Config.tiny(), nsnapshots=2)
+        dataset.save(tmp_path / "saved")
+        stored = CM1Dataset.load(tmp_path / "saved")
+        assert len(stored) == 2
+        original = dataset.snapshot(0).get_field("dbz")
+        loaded = stored.snapshot(0).get_field("dbz")
+        np.testing.assert_allclose(original, loaded, rtol=1e-6)
+
+    def test_load_missing_path(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            CM1Dataset.load(tmp_path / "nope")
+
+    def test_per_rank_blocks_cover_domain(self):
+        config = CM1Config.tiny()
+        dataset = CM1Dataset(config, nsnapshots=1)
+        decomp = CartesianDecomposition(config.shape, nranks=4, blocks_per_subdomain=(2, 2, 1))
+        per_rank = dataset.per_rank_blocks(decomp, 0)
+        assert len(per_rank) == 4
+        total_points = sum(b.extent.npoints for blocks in per_rank for b in blocks)
+        assert total_points == int(np.prod(config.shape))

@@ -1,0 +1,322 @@
+"""Tests for repro.simmpi: cost model, clocks, BSP communicator, SPMD runtime, sort."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simmpi.communicator import BSPCommunicator, _payload_nbytes
+from repro.simmpi.costmodel import NetworkCostModel
+from repro.simmpi.rankcomm import RankCommunicator
+from repro.simmpi.runtime import SimRuntime, SPMDError
+from repro.simmpi.sort import parallel_sort_pairs, sample_sort
+from repro.simmpi.timing import VirtualClocks
+
+
+class TestNetworkCostModel:
+    def test_p2p_monotone_in_size(self):
+        model = NetworkCostModel.blue_waters()
+        assert model.p2p(10_000) > model.p2p(100) > 0
+
+    def test_p2p_negative_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkCostModel().p2p(-1)
+
+    def test_single_rank_collectives_free(self):
+        model = NetworkCostModel()
+        assert model.bcast(1000, 1) == 0.0
+        assert model.allgather(1000, 1) == 0.0
+        assert model.allreduce(1000, 1) == 0.0
+
+    def test_bcast_grows_with_ranks(self):
+        model = NetworkCostModel()
+        assert model.bcast(1 << 20, 64) >= model.bcast(1 << 20, 4)
+
+    def test_allreduce_about_twice_bcast(self):
+        model = NetworkCostModel(per_rank_overhead=0.0)
+        assert model.allreduce(1 << 20, 16) == pytest.approx(2 * model.bcast(1 << 20, 16))
+
+    def test_gather_scales_with_total_volume(self):
+        model = NetworkCostModel()
+        assert model.gather(1 << 20, 64) > model.gather(1 << 20, 8)
+
+    def test_alltoallv_dominated_by_busiest_rank(self):
+        model = NetworkCostModel(per_rank_overhead=0.0)
+        # Rank 0 sends 1 MB to everyone; others send nothing.
+        matrix = [[0] * 4 for _ in range(4)]
+        for j in range(1, 4):
+            matrix[0][j] = 1 << 20
+        cost_hot = model.alltoallv(matrix, 4)
+        balanced = [[1 << 18 if i != j else 0 for j in range(4)] for i in range(4)]
+        cost_balanced = model.alltoallv(balanced, 4)
+        assert cost_hot > cost_balanced
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            NetworkCostModel(latency=0.0)
+        with pytest.raises(ValueError):
+            NetworkCostModel(bandwidth=-1)
+
+    def test_slow_cluster_slower_than_blue_waters(self):
+        slow = NetworkCostModel.slow_cluster()
+        fast = NetworkCostModel.blue_waters()
+        assert slow.p2p(1 << 20) > fast.p2p(1 << 20)
+
+
+class TestVirtualClocks:
+    def test_advance_and_query(self):
+        clocks = VirtualClocks(4)
+        clocks.advance(1, 2.0)
+        assert clocks.time(1) == 2.0
+        assert clocks.time(0) == 0.0
+        assert clocks.max_time() == 2.0
+
+    def test_advance_all(self):
+        clocks = VirtualClocks(3)
+        clocks.advance_all([1.0, 2.0, 3.0])
+        assert clocks.times() == [1.0, 2.0, 3.0]
+
+    def test_synchronize_jumps_to_max_plus_cost(self):
+        clocks = VirtualClocks(3)
+        clocks.advance_all([1.0, 5.0, 3.0])
+        t = clocks.synchronize(cost=0.5)
+        assert t == pytest.approx(5.5)
+        assert clocks.times() == [5.5, 5.5, 5.5]
+
+    def test_synchronize_subset(self):
+        clocks = VirtualClocks(4)
+        clocks.advance_all([1.0, 2.0, 3.0, 10.0])
+        clocks.synchronize(cost=0.0, ranks=[0, 1, 2])
+        assert clocks.time(0) == 3.0
+        assert clocks.time(3) == 10.0
+
+    def test_imbalance(self):
+        clocks = VirtualClocks(2)
+        clocks.advance_all([1.0, 3.0])
+        assert clocks.imbalance() == pytest.approx(1.5)
+
+    def test_negative_rejected(self):
+        clocks = VirtualClocks(2)
+        with pytest.raises(ValueError):
+            clocks.advance(0, -1.0)
+        with pytest.raises(ValueError):
+            clocks.synchronize(cost=-1.0)
+
+    def test_reset(self):
+        clocks = VirtualClocks(2)
+        clocks.advance(0, 1.0)
+        clocks.reset()
+        assert clocks.max_time() == 0.0
+
+
+class TestBSPCommunicator:
+    def test_bcast_delivers_to_all(self):
+        comm = BSPCommunicator(4)
+        out = comm.bcast({"a": 1}, root=0)
+        assert len(out) == 4 and all(v == {"a": 1} for v in out)
+
+    def test_gather_only_root(self):
+        comm = BSPCommunicator(3)
+        out = comm.gather([10, 20, 30], root=1)
+        assert out[1] == [10, 20, 30]
+        assert out[0] is None and out[2] is None
+
+    def test_allgather(self):
+        comm = BSPCommunicator(3)
+        out = comm.allgather(["a", "b", "c"])
+        assert all(v == ["a", "b", "c"] for v in out)
+
+    def test_scatter(self):
+        comm = BSPCommunicator(3)
+        out = comm.scatter([1, 2, 3], root=0)
+        assert out == [1, 2, 3]
+
+    def test_allreduce_sum_default(self):
+        comm = BSPCommunicator(4)
+        out = comm.allreduce([1, 2, 3, 4])
+        assert out == [10, 10, 10, 10]
+
+    def test_reduce_custom_op(self):
+        comm = BSPCommunicator(3)
+        out = comm.reduce([5, 1, 7], op=max, root=2)
+        assert out[2] == 7 and out[0] is None
+
+    def test_alltoallv_exchange(self):
+        comm = BSPCommunicator(2)
+        send = [[None, "from0"], ["from1", None]]
+        recv = comm.alltoallv(send)
+        assert recv[1][0] == "from0"
+        assert recv[0][1] == "from1"
+
+    def test_alltoallv_shape_validated(self):
+        comm = BSPCommunicator(2)
+        with pytest.raises(ValueError):
+            comm.alltoallv([[None], [None, None]])
+
+    def test_clock_advances_with_collectives(self):
+        comm = BSPCommunicator(4)
+        before = comm.clocks.max_time()
+        comm.bcast(np.zeros(1000), root=0)
+        assert comm.clocks.max_time() > before
+        assert comm.communication_seconds() > 0
+
+    def test_compute_charges_per_rank(self):
+        comm = BSPCommunicator(2)
+        comm.compute([1.0, 3.0])
+        assert comm.clocks.times() == [1.0, 3.0]
+
+    def test_value_count_validated(self):
+        comm = BSPCommunicator(3)
+        with pytest.raises(ValueError):
+            comm.gather([1, 2])
+
+    def test_stats_tracking(self):
+        comm = BSPCommunicator(2)
+        comm.barrier()
+        comm.bcast(1)
+        assert comm.stats["barrier"]["calls"] == 1
+        assert comm.stats["bcast"]["calls"] == 1
+        comm.reset_stats()
+        assert comm.stats == {}
+
+    def test_payload_nbytes_array_vs_object(self):
+        arr = np.zeros(100, dtype=np.float64)
+        assert _payload_nbytes(arr) == 800
+        assert _payload_nbytes("hello") > 0
+
+
+class TestSimRuntimeSPMD:
+    def test_allreduce_across_threads(self):
+        def program(comm):
+            return comm.allreduce(comm.Get_rank() + 1)
+
+        results = SimRuntime(4).run(program)
+        assert results == [10, 10, 10, 10]
+
+    def test_point_to_point_ring(self):
+        def program(comm):
+            rank, size = comm.Get_rank(), comm.Get_size()
+            comm.send(rank, dest=(rank + 1) % size, tag=5)
+            return comm.recv(source=(rank - 1) % size, tag=5)
+
+        results = SimRuntime(4).run(program)
+        assert results == [3, 0, 1, 2]
+
+    def test_isend_irecv(self):
+        def program(comm):
+            rank, size = comm.Get_rank(), comm.Get_size()
+            req_out = comm.isend(rank * 10, dest=(rank + 1) % size)
+            req_in = comm.irecv(source=(rank - 1) % size)
+            req_out.wait()
+            return req_in.wait()
+
+        results = SimRuntime(3).run(program)
+        assert results == [20, 0, 10]
+
+    def test_bcast_scatter_gather(self):
+        def program(comm):
+            rank = comm.Get_rank()
+            value = comm.bcast("payload" if rank == 0 else None, root=0)
+            part = comm.scatter([i * i for i in range(comm.Get_size())] if rank == 0 else None)
+            gathered = comm.gather(part, root=0)
+            return (value, part, gathered)
+
+        results = SimRuntime(3).run(program)
+        assert all(r[0] == "payload" for r in results)
+        assert [r[1] for r in results] == [0, 1, 4]
+        assert results[0][2] == [0, 1, 4]
+        assert results[1][2] is None
+
+    def test_alltoall(self):
+        def program(comm):
+            rank = comm.Get_rank()
+            return comm.alltoall([f"{rank}->{j}" for j in range(comm.Get_size())])
+
+        results = SimRuntime(3).run(program)
+        assert results[1] == ["0->1", "1->1", "2->1"]
+
+    def test_scan(self):
+        def program(comm):
+            return comm.scan(comm.Get_rank() + 1)
+
+        assert SimRuntime(4).run(program) == [1, 3, 6, 10]
+
+    def test_exception_propagates_as_spmd_error(self):
+        def program(comm):
+            if comm.Get_rank() == 1:
+                raise RuntimeError("boom")
+            return comm.Get_rank()
+
+        with pytest.raises(SPMDError):
+            SimRuntime(3, timeout=5.0).run(program)
+
+    def test_single_rank(self):
+        assert SimRuntime(1).run(lambda comm: comm.allreduce(5)) == [5]
+
+
+class TestParallelSort:
+    def test_gather_sort_broadcast_matches_sequential(self):
+        comm = BSPCommunicator(4)
+        rng = np.random.default_rng(3)
+        per_rank = []
+        bid = 0
+        for _ in range(4):
+            pairs = []
+            for _ in range(5):
+                pairs.append((bid, float(rng.integers(0, 10))))
+                bid += 1
+            per_rank.append(pairs)
+        out = parallel_sort_pairs(comm, per_rank)
+        flat = [p for pairs in per_rank for p in pairs]
+        expected = sorted(flat, key=lambda p: (p[1], p[0]))
+        assert out[0] == expected
+        # Every rank receives the same sorted list.
+        assert all(o == expected for o in out)
+
+    def test_sort_handles_empty_rank(self):
+        comm = BSPCommunicator(3)
+        per_rank = [[(0, 1.0)], [], [(1, 0.5)]]
+        out = parallel_sort_pairs(comm, per_rank)
+        assert out[0] == [(1, 0.5), (0, 1.0)]
+
+    def test_sort_wrong_rank_count(self):
+        comm = BSPCommunicator(2)
+        with pytest.raises(ValueError):
+            parallel_sort_pairs(comm, [[(0, 1.0)]])
+
+    def test_sample_sort_concatenation_is_sorted(self):
+        comm = BSPCommunicator(4)
+        rng = np.random.default_rng(9)
+        per_rank = []
+        bid = 0
+        for _ in range(4):
+            pairs = []
+            for _ in range(20):
+                pairs.append((bid, float(rng.normal())))
+                bid += 1
+            per_rank.append(pairs)
+        out = sample_sort(comm, per_rank)
+        merged = [p for part in out for p in part]
+        flat = [p for pairs in per_rank for p in pairs]
+        assert merged == sorted(flat, key=lambda p: (p[1], p[0]))
+
+    def test_sample_sort_single_rank(self):
+        comm = BSPCommunicator(1)
+        out = sample_sort(comm, [[(1, 2.0), (0, 1.0)]])
+        assert out[0] == [(0, 1.0), (1, 2.0)]
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        scores=st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=4, max_size=40
+        ),
+        nranks=st.sampled_from([2, 3, 4]),
+    )
+    def test_parallel_sort_property(self, scores, nranks):
+        """The distributed sort always equals the sequential (score, id) sort."""
+        comm = BSPCommunicator(nranks)
+        pairs = [(i, float(s)) for i, s in enumerate(scores)]
+        per_rank = [pairs[r::nranks] for r in range(nranks)]
+        out = parallel_sort_pairs(comm, per_rank)
+        assert out[0] == sorted(pairs, key=lambda p: (p[1], p[0]))

@@ -1,0 +1,189 @@
+"""Tests for repro.utils (timer, histogram, random, validation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.histogram import fixed_range_histogram, probabilities, shannon_entropy
+from repro.utils.random import derive_seed, rng_from_seed
+from repro.utils.timer import StepTimings, Timer
+from repro.utils.validation import (
+    ensure_3d,
+    ensure_float_array,
+    ensure_in_range,
+    ensure_positive,
+)
+
+
+class TestTimer:
+    def test_elapsed_non_negative(self):
+        with Timer() as t:
+            sum(range(100))
+        assert t.elapsed >= 0.0
+
+    def test_stop_returns_elapsed(self):
+        t = Timer()
+        t.start()
+        assert t.stop() >= 0.0
+
+    def test_reset(self):
+        t = Timer()
+        t.start()
+        t.stop()
+        t.reset()
+        assert t.elapsed == 0.0
+
+    def test_accumulates_over_restarts(self):
+        t = Timer()
+        t.start()
+        first = t.stop()
+        t.start()
+        total = t.stop()
+        assert total >= first
+
+    def test_elapsed_while_running(self):
+        t = Timer()
+        t.start()
+        assert t.elapsed >= 0.0
+
+
+class TestStepTimings:
+    def test_add_and_totals(self):
+        st_ = StepTimings()
+        st_.add_measured("a", 1.0)
+        st_.add_measured("a", 2.0)
+        st_.add_modelled("b", 5.0)
+        assert st_.measured["a"] == pytest.approx(3.0)
+        assert st_.total_measured() == pytest.approx(3.0)
+        assert st_.total_modelled() == pytest.approx(5.0)
+
+    def test_negative_rejected(self):
+        st_ = StepTimings()
+        with pytest.raises(ValueError):
+            st_.add_measured("a", -1.0)
+        with pytest.raises(ValueError):
+            st_.add_modelled("a", -1.0)
+
+    def test_merge(self):
+        a = StepTimings({"x": 1.0}, {"x": 2.0})
+        b = StepTimings({"x": 1.0, "y": 3.0}, {})
+        merged = a.merge(b)
+        assert merged.measured == {"x": 2.0, "y": 3.0}
+        assert merged.modelled == {"x": 2.0}
+
+    def test_steps_union(self):
+        t = StepTimings({"a": 1.0}, {"b": 2.0})
+        assert set(t.steps()) == {"a", "b"}
+
+    def test_as_dict_roundtrip(self):
+        t = StepTimings({"a": 1.0}, {"b": 2.0})
+        d = t.as_dict()
+        assert d["measured"]["a"] == 1.0
+        assert d["modelled"]["b"] == 2.0
+
+
+class TestHistogram:
+    def test_counts_sum_to_size(self):
+        values = np.linspace(-60, 80, 1000)
+        counts = fixed_range_histogram(values, 256, (-60, 80))
+        assert counts.sum() == 1000
+
+    def test_clipping(self):
+        values = np.array([-1000.0, 1000.0])
+        counts = fixed_range_histogram(values, 10, (0.0, 1.0), clip=True)
+        assert counts.sum() == 2
+        assert counts[0] == 1 and counts[-1] == 1
+
+    def test_drop_out_of_range(self):
+        values = np.array([-1000.0, 0.5, 1000.0])
+        counts = fixed_range_histogram(values, 10, (0.0, 1.0), clip=False)
+        assert counts.sum() == 1
+
+    def test_empty_input(self):
+        counts = fixed_range_histogram(np.array([]), 8, (0.0, 1.0))
+        assert counts.sum() == 0 and counts.size == 8
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            fixed_range_histogram(np.ones(3), 0, (0, 1))
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            fixed_range_histogram(np.ones(3), 4, (1.0, 1.0))
+
+    def test_probabilities_sum_to_one(self):
+        counts = np.array([1, 2, 3, 0])
+        probs = probabilities(counts)
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(probs > 0)
+
+    def test_probabilities_empty(self):
+        assert probabilities(np.zeros(4)).size == 0
+
+    def test_entropy_constant_is_zero(self):
+        counts = np.array([100, 0, 0, 0])
+        assert shannon_entropy(counts) == pytest.approx(0.0)
+
+    def test_entropy_uniform_is_log2_bins(self):
+        counts = np.full(16, 10)
+        assert shannon_entropy(counts) == pytest.approx(4.0)
+
+    def test_entropy_empty(self):
+        assert shannon_entropy(np.zeros(8)) == 0.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=64))
+    def test_entropy_bounds_property(self, counts):
+        e = shannon_entropy(np.asarray(counts))
+        assert 0.0 <= e <= np.log2(len(counts)) + 1e-9
+
+
+class TestRandom:
+    def test_rng_from_int(self):
+        a = rng_from_seed(7).standard_normal(4)
+        b = rng_from_seed(7).standard_normal(4)
+        np.testing.assert_allclose(a, b)
+
+    def test_rng_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert rng_from_seed(gen) is gen
+
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(42, "shuffle", 3) == derive_seed(42, "shuffle", 3)
+
+    def test_derive_seed_depends_on_components(self):
+        assert derive_seed(42, "shuffle", 3) != derive_seed(42, "shuffle", 4)
+        assert derive_seed(42, "a") != derive_seed(43, "a")
+
+    def test_derive_seed_in_range(self):
+        s = derive_seed(1, "x")
+        assert 0 <= s < 2**63
+
+
+class TestValidation:
+    def test_ensure_3d_ok(self):
+        arr = ensure_3d(np.zeros((2, 3, 4)))
+        assert arr.shape == (2, 3, 4)
+
+    def test_ensure_3d_rejects_2d(self):
+        with pytest.raises(ValueError):
+            ensure_3d(np.zeros((2, 3)))
+
+    def test_ensure_float_array_casts_ints(self):
+        arr = ensure_float_array(np.zeros((2, 2), dtype=np.int32))
+        assert np.issubdtype(arr.dtype, np.floating)
+
+    def test_ensure_float_array_keeps_float32(self):
+        arr = ensure_float_array(np.zeros(3, dtype=np.float32))
+        assert arr.dtype == np.float32
+
+    def test_ensure_positive(self):
+        assert ensure_positive(2.5) == 2.5
+        with pytest.raises(ValueError):
+            ensure_positive(0.0)
+
+    def test_ensure_in_range(self):
+        assert ensure_in_range(0.5, (0, 1)) == 0.5
+        with pytest.raises(ValueError):
+            ensure_in_range(1.5, (0, 1))

@@ -1,0 +1,293 @@
+"""Tests for the visualization substrate (marching cubes, rasterizer, catalyst API)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.grid.block import Block, BlockExtent
+from repro.grid.reduction import reduce_block
+from repro.viz.camera import Camera
+from repro.viz.catalyst import CatalystPipeline, ColormapScript, IsosurfaceScript
+from repro.viz.colormap import apply_colormap, grayscale, viridis_like
+from repro.viz.framebuffer import Framebuffer
+from repro.viz.marching_cubes import count_active_cells, marching_cubes
+from repro.viz.mesh import TriangleMesh
+from repro.viz.rasterizer import rasterize_mesh
+from repro.viz.slice_render import extract_slice, render_colormap_slice
+from repro.viz.volume import composite_volume, volume_max_projection
+
+
+def sphere_field(n=24, radius=0.6):
+    x = np.linspace(-1, 1, n)
+    xx, yy, zz = np.meshgrid(x, x, x, indexing="ij")
+    return np.sqrt(xx**2 + yy**2 + zz**2) - radius, x
+
+
+class TestTriangleMesh:
+    def test_from_soup_and_counts(self):
+        soup = np.zeros((3, 3, 3))
+        soup[:, 1, 0] = 1.0
+        soup[:, 2, 1] = 1.0
+        mesh = TriangleMesh.from_triangle_soup(soup)
+        assert mesh.ntriangles == 3
+        assert mesh.nvertices == 9
+        assert mesh.area() == pytest.approx(1.5)
+
+    def test_merge(self):
+        soup = np.random.default_rng(0).normal(size=(2, 3, 3))
+        a = TriangleMesh.from_triangle_soup(soup)
+        b = TriangleMesh.from_triangle_soup(soup)
+        merged = TriangleMesh.merge([a, b, TriangleMesh()])
+        assert merged.ntriangles == 4
+
+    def test_empty_mesh(self):
+        mesh = TriangleMesh()
+        assert mesh.is_empty
+        assert mesh.area() == 0.0
+        lo, hi = mesh.bounds()
+        np.testing.assert_array_equal(lo, hi)
+
+    def test_invalid_indices(self):
+        with pytest.raises(ValueError):
+            TriangleMesh(vertices=np.zeros((2, 3)), triangles=np.array([[0, 1, 5]]))
+
+    def test_normals_unit_length(self):
+        soup = np.random.default_rng(1).normal(size=(5, 3, 3))
+        mesh = TriangleMesh.from_triangle_soup(soup)
+        norms = np.linalg.norm(mesh.triangle_normals(), axis=1)
+        np.testing.assert_allclose(norms, 1.0, rtol=1e-9)
+
+    def test_translated(self):
+        soup = np.zeros((1, 3, 3))
+        mesh = TriangleMesh.from_triangle_soup(soup).translated([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(mesh.vertices[0], [1.0, 2.0, 3.0])
+
+
+class TestMarchingCubes:
+    def test_empty_when_level_outside_range(self):
+        field = np.zeros((5, 5, 5))
+        assert marching_cubes(field, 1.0).is_empty
+        assert count_active_cells(field, 1.0) == 0
+
+    def test_sphere_surface_area(self):
+        field, x = sphere_field(n=40, radius=0.6)
+        mesh = marching_cubes(field, 0.0, coords=(x, x, x))
+        expected = 4.0 * np.pi * 0.6**2
+        assert mesh.ntriangles > 100
+        assert mesh.area() == pytest.approx(expected, rel=0.08)
+
+    def test_vertices_lie_on_isosurface(self):
+        field, x = sphere_field(n=24, radius=0.5)
+        mesh = marching_cubes(field, 0.0, coords=(x, x, x))
+        radii = np.linalg.norm(mesh.vertices, axis=1)
+        # Vertices interpolated along edges are close to the sphere of radius 0.5.
+        assert np.abs(radii - 0.5).max() < 0.05
+
+    def test_triangle_count_scales_with_active_cells(self):
+        field, x = sphere_field(n=24, radius=0.5)
+        cells = count_active_cells(field, 0.0)
+        mesh = marching_cubes(field, 0.0)
+        # The tetrahedral triangulation emits a handful of triangles per crossed cell.
+        assert 1.0 <= mesh.ntriangles / cells <= 8.0
+
+    def test_planar_isosurface_area(self):
+        # f(x, y, z) = z, level 0.55 -> a unit-square plane (the level is chosen
+        # strictly between grid values; an isovalue exactly on a grid plane is
+        # the usual marching-cubes degenerate case).
+        n = 11
+        x = np.linspace(0, 1, n)
+        field = np.tile(x[None, None, :], (n, n, 1))
+        mesh = marching_cubes(field, 0.55, coords=(x, x, x))
+        assert mesh.area() == pytest.approx(1.0, rel=1e-6)
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            marching_cubes(np.zeros((4, 4)), 0.5)
+        with pytest.raises(ValueError):
+            marching_cubes(np.zeros((4, 4, 4)), 0.5, coords=(np.arange(3), np.arange(4), np.arange(4)))
+
+    def test_degenerate_axis(self):
+        assert marching_cubes(np.zeros((1, 4, 4)), 0.5).is_empty
+
+    @settings(deadline=None, max_examples=15)
+    @given(seed=st.integers(min_value=0, max_value=500), level=st.floats(min_value=-0.5, max_value=0.5))
+    def test_mesh_inside_domain_bounds_property(self, seed, level):
+        """All isosurface vertices stay inside the grid's bounding box."""
+        field = np.random.default_rng(seed).normal(size=(7, 7, 7))
+        mesh = marching_cubes(field, level)
+        if mesh.is_empty:
+            return
+        assert mesh.vertices.min() >= -1e-9
+        assert mesh.vertices.max() <= 6.0 + 1e-9
+
+
+class TestCameraAndRasterizer:
+    def test_camera_projects_center_to_screen_middle(self):
+        cam = Camera(position=[0, 0, -5], target=[0, 0, 0], up=[0, 1, 0])
+        pixels, depth = cam.project(np.array([[0.0, 0.0, 0.0]]), 100, 80)
+        assert pixels[0, 0] == pytest.approx(50.0)
+        assert pixels[0, 1] == pytest.approx(40.0)
+        assert depth[0] == pytest.approx(5.0)
+
+    def test_camera_behind_points_infinite_depth(self):
+        cam = Camera(position=[0, 0, 0], target=[0, 0, 1])
+        _, depth = cam.project(np.array([[0.0, 0.0, -1.0]]), 10, 10)
+        assert np.isinf(depth[0])
+
+    def test_camera_validation(self):
+        with pytest.raises(ValueError):
+            Camera(position=[0, 0, 0], target=[0, 0, 0])
+        with pytest.raises(ValueError):
+            Camera(position=[0, 0, 0], target=[0, 0, 1], fov_degrees=200)
+
+    def test_fit_bounds_sees_object(self):
+        cam = Camera.fit_bounds(np.zeros(3), np.ones(3))
+        pixels, depth = cam.project(np.array([[0.5, 0.5, 0.5]]), 200, 200)
+        assert np.isfinite(depth[0])
+        assert 0 <= pixels[0, 0] <= 200 and 0 <= pixels[0, 1] <= 200
+
+    def test_rasterize_sphere_covers_pixels(self):
+        field, x = sphere_field(n=20, radius=0.5)
+        mesh = marching_cubes(field, 0.0, coords=(x, x, x))
+        cam = Camera.fit_bounds(*mesh.bounds())
+        fb = Framebuffer(120, 100)
+        rasterize_mesh(mesh, cam, fb)
+        assert fb.coverage() > 0.05
+        assert fb.color.max() > 0.1
+
+    def test_rasterize_empty_mesh_noop(self):
+        fb = Framebuffer(10, 10)
+        rasterize_mesh(TriangleMesh(), Camera(position=[0, 0, -1], target=[0, 0, 0]), fb)
+        assert fb.coverage() == 0.0
+
+    def test_framebuffer_save_pgm(self, tmp_path):
+        fb = Framebuffer(8, 6, background=0.5)
+        path = fb.save_pgm(tmp_path / "img.pgm")
+        data = path.read_bytes()
+        assert data.startswith(b"P5\n8 6\n255\n")
+        assert len(data) == len(b"P5\n8 6\n255\n") + 48
+
+    def test_framebuffer_validation(self):
+        with pytest.raises(ValueError):
+            Framebuffer(0, 5)
+        with pytest.raises(ValueError):
+            Framebuffer(5, 5, background=2.0)
+
+    def test_save_array_pgm(self, tmp_path):
+        img = np.random.default_rng(0).random((5, 7))
+        path = Framebuffer.save_array_pgm(img, tmp_path / "a.pgm")
+        assert path.exists()
+
+
+class TestColormapSliceVolume:
+    def test_grayscale_range(self):
+        img = grayscale(np.array([[0.0, 5.0], [10.0, 2.5]]))
+        assert img.min() == 0.0 and img.max() == 1.0
+
+    def test_viridis_shape(self):
+        img = viridis_like(np.zeros((4, 5)))
+        assert img.shape == (4, 5, 3)
+
+    def test_apply_colormap_unknown(self):
+        with pytest.raises(ValueError):
+            apply_colormap(np.zeros((2, 2)), cmap="jet")
+
+    def test_extract_slice_default_middle(self, tiny_field):
+        slab = extract_slice(tiny_field)
+        assert slab.shape == tiny_field.shape[:2]
+
+    def test_extract_slice_bounds(self, tiny_field):
+        with pytest.raises(ValueError):
+            extract_slice(tiny_field, level_index=10_000)
+
+    def test_render_colormap_slice(self, tiny_field):
+        img = render_colormap_slice(tiny_field, vmin=-60, vmax=80)
+        assert img.shape == tiny_field.shape[:2]
+        assert 0.0 <= img.min() and img.max() <= 1.0
+
+    def test_volume_max_projection_highlights_storm(self, tiny_field):
+        mip = volume_max_projection(tiny_field, vmin=-60, vmax=80)
+        assert mip.shape == tiny_field.shape[:2]
+        assert mip.max() > 0.5
+
+    def test_composite_volume(self, tiny_field):
+        img = composite_volume(tiny_field, vmin=-60, vmax=80)
+        assert img.shape == tiny_field.shape[:2]
+        assert 0.0 <= img.min() and img.max() <= 1.0
+
+    def test_volume_validation(self):
+        with pytest.raises(ValueError):
+            volume_max_projection(np.zeros((3, 3)), axis=0)
+        with pytest.raises(ValueError):
+            composite_volume(np.zeros((3, 3, 3)), opacity_scale=0.0)
+
+
+class TestCatalyst:
+    def _blocks(self, tiny_field):
+        from repro.grid.decomposition import CartesianDecomposition
+
+        decomp = CartesianDecomposition(tiny_field.shape, nranks=2, blocks_per_subdomain=(2, 2, 1))
+        return decomp.extract_blocks(0, tiny_field), decomp
+
+    def test_isosurface_count_vs_mesh_consistency(self, tiny_field):
+        blocks, _ = self._blocks(tiny_field)
+        count_result = IsosurfaceScript(level=45.0, mode="count").process(blocks, 0)
+        mesh_result = IsosurfaceScript(level=45.0, mode="mesh").process(blocks, 0)
+        assert count_result.active_cells == mesh_result.active_cells
+        # The counting estimate tracks the real triangle count within a small factor.
+        if mesh_result.ntriangles > 0:
+            ratio = count_result.ntriangles / mesh_result.ntriangles
+            assert 0.4 <= ratio <= 2.5
+
+    def test_reduced_blocks_produce_fewer_triangles(self, tiny_field):
+        blocks, _ = self._blocks(tiny_field)
+        script = IsosurfaceScript(level=45.0, mode="count")
+        full = script.process(blocks, 0)
+        reduced = script.process([reduce_block(b) for b in blocks], 0)
+        assert reduced.ntriangles <= full.ntriangles
+        assert reduced.npoints < full.npoints
+
+    def test_isosurface_render_image(self, tiny_field):
+        blocks, _ = self._blocks(tiny_field)
+        script = IsosurfaceScript(level=45.0, mode="mesh", render_image=True, image_size=(64, 48))
+        result = script.process(blocks, 0)
+        if result.ntriangles > 0:
+            assert result.image is not None
+            assert result.image.shape == (48, 64)
+
+    def test_isosurface_validation(self):
+        with pytest.raises(ValueError):
+            IsosurfaceScript(mode="bad")
+        with pytest.raises(ValueError):
+            IsosurfaceScript(mode="count", render_image=True)
+
+    def test_colormap_script(self, tiny_field):
+        blocks, decomp = self._blocks(tiny_field)
+        script = ColormapScript(level_index=2, global_shape=tiny_field.shape)
+        result = script.process(blocks, 0)
+        assert result.image is not None
+        assert result.image.shape == tiny_field.shape[:2]
+
+    def test_colormap_script_validation(self, tiny_field):
+        with pytest.raises(ValueError):
+            ColormapScript(level_index=100, global_shape=tiny_field.shape)
+
+    def test_pipeline_requires_scripts(self):
+        with pytest.raises(RuntimeError):
+            CatalystPipeline().coprocess([], 0)
+
+    def test_pipeline_add_script_type_checked(self):
+        pipeline = CatalystPipeline()
+        with pytest.raises(TypeError):
+            pipeline.add_script(object())
+
+    def test_pipeline_runs_all_scripts(self, tiny_field):
+        blocks, _ = self._blocks(tiny_field)
+        pipeline = CatalystPipeline(
+            [IsosurfaceScript(level=45.0, mode="count"), ColormapScript(2, tiny_field.shape)]
+        )
+        results = pipeline.coprocess(blocks, 3)
+        assert len(results) == 2
+        assert all(r.iteration == 3 for r in results)
