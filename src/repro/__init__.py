@@ -5,7 +5,12 @@ Performance-Constrained In Situ Visualization of Atmospheric Simulations"
 (IEEE CLUSTER 2016), including every substrate the paper depends on:
 
 * :mod:`repro.core` — the adaptive pipeline (score → sort → reduce →
-  redistribute → render → adapt, Algorithm 1);
+  redistribute → render → adapt, Algorithm 1), built from composable
+  :class:`~repro.core.step.PipelineStep` objects run by an
+  :class:`~repro.core.engine.ExecutionEngine` with interchangeable
+  ``serial`` / ``vectorized`` backends (``PipelineConfig(engine=...)``);
+* :mod:`repro.grid.batch` — :class:`~repro.grid.batch.BlockBatch`, the
+  structure-of-arrays container the vectorized backend scores in bulk;
 * :mod:`repro.cm1` — a synthetic CM1-like supercell simulation and its
   reflectivity (dBZ) diagnostic;
 * :mod:`repro.simmpi` — a simulated MPI runtime with a latency/bandwidth cost
@@ -34,21 +39,27 @@ Quickstart
 from repro.core import (
     AdaptationConfig,
     AdaptationController,
+    ExecutionEngine,
     InSituPipeline,
     PipelineConfig,
+    StepReport,
     adapt_percent,
 )
 from repro.cm1 import CM1Config, CM1Dataset, CM1Simulation
+from repro.grid import BlockBatch
 from repro.perfmodel import PlatformModel
 from repro.metrics import create_metric, default_registry
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AdaptationConfig",
     "AdaptationController",
+    "BlockBatch",
+    "ExecutionEngine",
     "InSituPipeline",
     "PipelineConfig",
+    "StepReport",
     "adapt_percent",
     "CM1Config",
     "CM1Dataset",
@@ -67,12 +78,14 @@ def quickstart_pipeline(
     target_seconds: float = 20.0,
     metric: str = "VAR",
     redistribution: str = "round_robin",
+    engine: str = "vectorized",
 ):
     """Run a tiny end-to-end adaptive pipeline and return its run result.
 
     This is the programmatic equivalent of ``examples/quickstart.py``: a small
     synthetic storm, a handful of virtual ranks, and the full six-step
-    pipeline with adaptation enabled.
+    pipeline with adaptation enabled.  ``engine`` selects the execution
+    backend ("vectorized" or "serial"); both give identical results.
     """
     from repro.experiments.common import ExperimentScenario
 
@@ -81,6 +94,7 @@ def quickstart_pipeline(
         metric=metric,
         redistribution=redistribution,
         adaptation=AdaptationConfig(enabled=True, target_seconds=target_seconds),
+        engine=engine,
     )
     for index in range(nsnapshots):
         pipeline.process_iteration(scenario.blocks_for(index))

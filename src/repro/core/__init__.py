@@ -16,24 +16,33 @@ blocks of every simulation iteration:
 6. **Adapt** ``p`` from the measured run time and the target
    (:mod:`repro.core.adaptation`, Algorithm 1).
 
-:class:`InSituPipeline` orchestrates the steps over a set of virtual ranks;
-:class:`PerformanceMonitor` records per-iteration, per-step timings in both
-measured wall-clock and modelled platform seconds.
+Each of the five data steps implements the :class:`PipelineStep` contract
+(:mod:`repro.core.step`): ``execute(context) -> StepReport``.  The
+:class:`ExecutionEngine` (:mod:`repro.core.engine`) runs the step sequence
+with a ``"serial"`` or ``"vectorized"`` backend — selected through
+``PipelineConfig.engine`` — and :class:`InSituPipeline` layers the adaptation
+controller and the :class:`PerformanceMonitor` on top.  The monitor records
+per-iteration, per-step timings in both measured wall-clock and modelled
+platform seconds, plus the per-step payload bytes and counters carried by the
+step reports.
 """
 
 from repro.core.config import PipelineConfig, AdaptationConfig
 from repro.core.adaptation import adapt_percent, AdaptationController
-from repro.core.scoring_step import ScoringStep
+from repro.core.step import IterationContext, PipelineStep, StepReport
+from repro.core.scoring_step import ScoringStep, VectorizedScoringStep
 from repro.core.sorting_step import SortingStep
 from repro.core.reduction_step import ReductionStep, select_blocks_to_reduce
 from repro.core.redistribution import (
     RedistributionStrategy,
+    RedistributionStep,
     NoRedistribution,
     RandomShuffle,
     RoundRobin,
     make_strategy,
 )
 from repro.core.rendering_step import RenderingStep
+from repro.core.engine import ENGINE_BACKENDS, ExecutionEngine
 from repro.core.monitor import PerformanceMonitor
 from repro.core.results import IterationResult, PipelineRunResult
 from repro.core.pipeline import InSituPipeline
@@ -43,16 +52,23 @@ __all__ = [
     "AdaptationConfig",
     "adapt_percent",
     "AdaptationController",
+    "IterationContext",
+    "PipelineStep",
+    "StepReport",
     "ScoringStep",
+    "VectorizedScoringStep",
     "SortingStep",
     "ReductionStep",
     "select_blocks_to_reduce",
     "RedistributionStrategy",
+    "RedistributionStep",
     "NoRedistribution",
     "RandomShuffle",
     "RoundRobin",
     "make_strategy",
     "RenderingStep",
+    "ENGINE_BACKENDS",
+    "ExecutionEngine",
     "PerformanceMonitor",
     "IterationResult",
     "PipelineRunResult",

@@ -7,6 +7,10 @@ from typing import Optional, Tuple
 
 from repro.utils.validation import ensure_in_range, ensure_positive
 
+#: Execution backends selectable through ``PipelineConfig.engine``; the
+#: authoritative list (the engine module re-exports it).
+ENGINE_BACKENDS = ("serial", "vectorized")
+
 
 @dataclass(frozen=True)
 class AdaptationConfig:
@@ -71,6 +75,15 @@ class PipelineConfig:
         When True (default) the controller reacts to modelled platform
         seconds; when False it reacts to measured wall-clock (useful for
         pure-software runs without the platform model).
+    engine:
+        Execution backend of the step sequence: ``"vectorized"`` (default)
+        scores each rank's blocks as stacked
+        :class:`~repro.grid.batch.BlockBatch` arrays; ``"serial"`` iterates
+        blocks one at a time.  Both produce identical scores, reduction and
+        redistribution decisions, and modelled timings; measured wall-clock
+        naturally differs (the vectorized step attributes one global pass
+        proportionally to per-rank point counts), so runs driven by
+        ``use_modelled_time=False`` are backend- and machine-dependent.
     """
 
     metric: str = "VAR"
@@ -81,12 +94,17 @@ class PipelineConfig:
     adaptation: AdaptationConfig = field(default_factory=AdaptationConfig)
     shuffle_seed: int = 2016
     use_modelled_time: bool = True
+    engine: str = "vectorized"
 
     def __post_init__(self) -> None:
         if self.redistribution not in ("none", "shuffle", "round_robin"):
             raise ValueError(
                 f"redistribution must be 'none', 'shuffle' or 'round_robin', "
                 f"got {self.redistribution!r}"
+            )
+        if self.engine not in ENGINE_BACKENDS:
+            raise ValueError(
+                f"engine must be one of {ENGINE_BACKENDS}, got {self.engine!r}"
             )
         if self.render_mode not in ("count", "mesh"):
             raise ValueError(

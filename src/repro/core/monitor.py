@@ -2,8 +2,10 @@
 
 The monitor collects, for every iteration, the per-step measured and modelled
 times plus auxiliary quantities (per-rank triangle counts, bytes moved).  The
-adaptation controller reads the full-pipeline time from here; experiment
-drivers read everything else.
+execution engine feeds it one :class:`~repro.core.step.StepReport` per step
+per iteration (attached to the :class:`IterationResult`); the adaptation
+controller reads the full-pipeline time from here, and experiment drivers
+read everything else — including per-step payload bytes and counters.
 """
 
 from __future__ import annotations
@@ -80,3 +82,29 @@ class PerformanceMonitor:
     def imbalance_series(self) -> List[float]:
         """Per-iteration rendering load imbalance (max/mean triangles)."""
         return [r.load_imbalance for r in self._iterations]
+
+    # -- step-report queries -----------------------------------------------------
+
+    def payload_bytes_series(self, step: str) -> List[float]:
+        """Per-iteration bytes moved over the network by one step.
+
+        Iterations recorded without step reports (hand-built results) count
+        as 0 bytes.
+        """
+        if step not in self.STEPS:
+            raise ValueError(f"unknown step {step!r}; expected one of {self.STEPS}")
+        return [
+            float(r.step_reports[step].payload_bytes) if step in r.step_reports else 0.0
+            for r in self._iterations
+        ]
+
+    def counter_series(self, step: str, counter: str) -> List[float]:
+        """Per-iteration value of one step counter (0.0 where absent)."""
+        if step not in self.STEPS:
+            raise ValueError(f"unknown step {step!r}; expected one of {self.STEPS}")
+        return [
+            float(r.step_reports[step].counters.get(counter, 0.0))
+            if step in r.step_reports
+            else 0.0
+            for r in self._iterations
+        ]

@@ -5,6 +5,10 @@ over a set of virtual ranks: score → sort → reduce → redistribute → rend
 adapt.  It takes per-rank block lists as input (one call per simulation
 iteration), which is how the simulation — or the dataset replayer standing in
 for it — hands data to the in situ layer.
+
+The five data steps live in an :class:`~repro.core.engine.ExecutionEngine`
+(selected by ``PipelineConfig.engine``: serial or vectorized); the pipeline
+adds the adaptation controller and the performance monitor on top.
 """
 
 from __future__ import annotations
@@ -13,15 +17,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.adaptation import AdaptationController
 from repro.core.config import PipelineConfig
+from repro.core.engine import ExecutionEngine
 from repro.core.monitor import PerformanceMonitor
-from repro.core.redistribution import make_strategy
-from repro.core.reduction_step import ReductionStep
-from repro.core.rendering_step import RenderingStep
 from repro.core.results import IterationResult, PipelineRunResult
-from repro.core.scoring_step import ScoringStep
-from repro.core.sorting_step import SortingStep
 from repro.grid.block import Block
-from repro.metrics.registry import create_metric
 from repro.perfmodel.platform import PlatformModel
 from repro.simmpi.communicator import BSPCommunicator
 from repro.viz.catalyst import RenderResult
@@ -34,7 +33,7 @@ class InSituPipeline:
     ----------
     config:
         Pipeline configuration (metric, redistribution strategy, adaptation
-        target, ...).
+        target, engine backend, ...).
     platform:
         Cost model of the platform the run is meant to represent (64- or
         400-core Blue Waters by default); pass a re-calibrated platform to
@@ -55,24 +54,16 @@ class InSituPipeline:
     ) -> None:
         self.config = config
         self.platform = platform
-        self.nranks = int(nranks) if nranks is not None else int(platform.ncores)
-        if self.nranks < 1:
-            raise ValueError(f"nranks must be >= 1, got {self.nranks}")
-        self.comm = comm or BSPCommunicator(self.nranks, cost_model=platform.network)
-        if self.comm.nranks != self.nranks:
-            raise ValueError(
-                f"communicator has {self.comm.nranks} ranks, expected {self.nranks}"
-            )
-        self.metric = create_metric(config.metric)
-        self.scoring = ScoringStep(self.metric, platform)
-        self.sorting = SortingStep(self.comm)
-        self.reduction = ReductionStep()
-        self.strategy = make_strategy(config.redistribution, seed=config.shuffle_seed)
-        self.rendering = RenderingStep(
-            platform,
-            isosurface_level=config.isosurface_level,
-            render_mode=config.render_mode,
-        )
+        self.engine = ExecutionEngine(config, platform, nranks=nranks, comm=comm)
+        self.nranks = self.engine.nranks
+        self.comm = self.engine.comm
+        # Step handles, kept as attributes for introspection and tests.
+        self.metric = self.engine.metric
+        self.scoring = self.engine.scoring
+        self.sorting = self.engine.sorting
+        self.reduction = self.engine.reduction
+        self.strategy = self.engine.strategy
+        self.rendering = self.engine.rendering
         self.controller = AdaptationController(config.adaptation)
         self.monitor = PerformanceMonitor()
         self._iteration_index = 0
@@ -101,57 +92,16 @@ class InSituPipeline:
             The timing record of the iteration and the per-rank render
             results of the final rendering step.
         """
-        if len(per_rank_blocks) != self.nranks:
-            raise ValueError(
-                f"expected blocks for {self.nranks} ranks, got {len(per_rank_blocks)}"
-            )
         iteration = self._iteration_index
         percent = (
             float(percent_override)
             if percent_override is not None
             else float(self.controller.next_percent)
         )
-        if not (0.0 <= percent <= 100.0):
-            raise ValueError(f"percent must be in [0, 100], got {percent}")
-
-        # Step 1: scoring.
-        per_rank_pairs, scored_blocks, scoring_info = self.scoring.run(per_rank_blocks)
-        # Step 2: global sort (gather + sort + broadcast).
-        sorted_pairs, sorting_info = self.sorting.run(per_rank_pairs)
-        # Step 3: reduction of the lowest-scored percent.
-        reduced_blocks, reduced_ids, reduction_info = self.reduction.run(
-            scored_blocks, sorted_pairs, percent
-        )
-        # Step 4: load redistribution.
-        redistributed, redistribution_info = self.strategy.redistribute(
-            self.comm, reduced_blocks, sorted_pairs, iteration
-        )
-        # Step 5: rendering.
-        render_results, rendering_info = self.rendering.run(redistributed, iteration)
-
         nblocks = sum(len(blocks) for blocks in per_rank_blocks)
-        result = IterationResult(
-            iteration=iteration,
-            percent_reduced=percent,
-            nblocks=nblocks,
-            nreduced=int(reduction_info["nreduced"]),
-            modelled_steps={
-                "scoring": float(scoring_info["modelled_max"]),
-                "sorting": float(sorting_info["modelled"]),
-                "reduction": float(reduction_info["modelled_max"]),
-                "redistribution": float(redistribution_info["modelled"]),
-                "rendering": float(rendering_info["modelled_max"]),
-            },
-            measured_steps={
-                "scoring": float(scoring_info["measured_max"]),
-                "sorting": float(sorting_info["measured"]),
-                "reduction": float(reduction_info["measured_max"]),
-                "redistribution": float(redistribution_info["measured"]),
-                "rendering": float(rendering_info["measured_max"]),
-            },
-            triangles_per_rank=list(rendering_info["triangles_per_rank"]),
-            moved_bytes=float(redistribution_info["moved_bytes"]),
-        )
+
+        context = self.engine.run_iteration(per_rank_blocks, percent, iteration)
+        result = self.engine.iteration_result(context, nblocks=nblocks)
         self.monitor.record_iteration(result)
 
         # Step 6: adapt the percentage from the observed full-pipeline time.
@@ -161,7 +111,7 @@ class InSituPipeline:
         if percent_override is None:
             self.controller.observe(percent, observed)
         self._iteration_index += 1
-        return result, render_results
+        return result, list(context.render_results or [])
 
     # -- convenience -----------------------------------------------------------------
 
@@ -184,6 +134,7 @@ class InSituPipeline:
         return {
             "metric": self.config.metric,
             "redistribution": self.config.redistribution,
+            "engine": self.engine.backend,
             "nranks": self.nranks,
             "platform": self.platform.name,
             "isosurface_level": self.config.isosurface_level,

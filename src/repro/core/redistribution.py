@@ -24,6 +24,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.step import IterationContext, StepReport
 from repro.grid.block import Block
 from repro.simmpi.communicator import BSPCommunicator
 from repro.utils.random import derive_seed, rng_from_seed
@@ -160,6 +161,35 @@ class RoundRobin(RedistributionStrategy):
         for position, (block_id, _score) in enumerate(reversed(list(sorted_pairs))):
             owners[block_id] = position % nranks
         return owners
+
+
+class RedistributionStep:
+    """PipelineStep adapter around a :class:`RedistributionStrategy`.
+
+    The strategies stay independent of the step contract (they are also used
+    directly by the figure-5 experiments); this thin wrapper binds one
+    strategy to a communicator and reports the exchange as a collective.
+    """
+
+    name = "redistribution"
+
+    def __init__(self, strategy: RedistributionStrategy, comm: BSPCommunicator) -> None:
+        self.strategy = strategy
+        self.comm = comm
+
+    def execute(self, context: IterationContext) -> StepReport:
+        """Exchange the context's blocks (PipelineStep contract)."""
+        new_blocks, info = self.strategy.redistribute(
+            self.comm, context.per_rank_blocks, context.require_sorted(), context.iteration
+        )
+        context.per_rank_blocks = new_blocks
+        return StepReport.collective(
+            self.name,
+            measured=float(info["measured"]),
+            modelled=float(info["modelled"]),
+            payload_bytes=float(info["moved_bytes"]),
+            counters={"moved_blocks": float(info["moved_blocks"])},
+        )
 
 
 def make_strategy(name: str, seed: int = 2016) -> RedistributionStrategy:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Set, Tuple
 
+from repro.core.step import IterationContext, StepReport
 from repro.grid.block import Block
 from repro.grid.reduction import reduce_block
 from repro.utils.timer import Timer
@@ -36,6 +37,8 @@ def select_blocks_to_reduce(sorted_pairs: Sequence[ScorePair], percent: float) -
 
 class ReductionStep:
     """Reduces the selected blocks on every rank."""
+
+    name = "reduction"
 
     def run(
         self,
@@ -76,3 +79,17 @@ class ReductionStep:
             "nreduced": len(reduced_ids),
         }
         return out, reduced_ids, info
+
+    def execute(self, context: IterationContext) -> StepReport:
+        """Run the step over the context's blocks (PipelineStep contract)."""
+        out, reduced_ids, info = self.run(
+            context.per_rank_blocks, context.require_sorted(), context.percent
+        )
+        context.per_rank_blocks = out
+        context.reduced_ids = reduced_ids
+        return StepReport(
+            step=self.name,
+            measured_per_rank=list(info["measured_per_rank"]),
+            modelled_per_rank=list(info["modelled_per_rank"]),
+            counters={"nreduced": float(info["nreduced"])},
+        )

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.step import IterationContext, StepReport
 from repro.grid.block import Block
 from repro.perfmodel.platform import PlatformModel
 from repro.viz.catalyst import CatalystPipeline, IsosurfaceScript, RenderResult
@@ -18,6 +19,8 @@ from repro.viz.catalyst import CatalystPipeline, IsosurfaceScript, RenderResult
 
 class RenderingStep:
     """Runs the visualization scripts on every rank and prices the work."""
+
+    name = "rendering"
 
     def __init__(
         self,
@@ -72,3 +75,17 @@ class RenderingStep:
             "total_triangles": int(sum(triangles)),
         }
         return results, info
+
+    def execute(self, context: IterationContext) -> StepReport:
+        """Render the context's blocks (PipelineStep contract)."""
+        results, info = self.run(context.per_rank_blocks, context.iteration)
+        context.render_results = results
+        return StepReport(
+            step=self.name,
+            measured_per_rank=list(info["measured_per_rank"]),
+            modelled_per_rank=list(info["modelled_per_rank"]),
+            counters={"total_triangles": float(info["total_triangles"])},
+            per_rank_counters={
+                "triangles": [float(t) for t in info["triangles_per_rank"]]
+            },
+        )

@@ -7,6 +7,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.core.step import StepReport
+
 
 @dataclass
 class IterationResult:
@@ -27,6 +29,9 @@ class IterationResult:
     triangles_per_rank: List[int] = field(default_factory=list)
     #: Bytes moved by the redistribution step.
     moved_bytes: float = 0.0
+    #: Full per-step reports (payload bytes, counters, per-rank series) keyed
+    #: by step name; populated by the execution engine.
+    step_reports: Dict[str, StepReport] = field(default_factory=dict)
 
     @property
     def modelled_total(self) -> float:

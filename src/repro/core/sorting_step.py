@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+from repro.core.step import IterationContext, StepReport
 from repro.simmpi.communicator import BSPCommunicator
 from repro.simmpi.sort import parallel_sort_pairs
 from repro.utils.timer import Timer
@@ -20,6 +21,8 @@ ScorePair = Tuple[int, float]
 
 class SortingStep:
     """Gather-sort-broadcast of the score pairs over the communicator."""
+
+    name = "sorting"
 
     def __init__(self, comm: BSPCommunicator) -> None:
         self.comm = comm
@@ -43,3 +46,17 @@ class SortingStep:
         sorted_pairs = per_rank_sorted[0]
         info = {"measured": timer.elapsed, "modelled": modelled}
         return sorted_pairs, info
+
+    def execute(self, context: IterationContext) -> StepReport:
+        """Run the step over the context's pairs (PipelineStep contract)."""
+        bytes_before = sum(e["bytes"] for e in self.comm.stats.values())
+        sorted_pairs, info = self.run(context.require_pairs())
+        payload = sum(e["bytes"] for e in self.comm.stats.values()) - bytes_before
+        context.sorted_pairs = sorted_pairs
+        return StepReport.collective(
+            self.name,
+            measured=float(info["measured"]),
+            modelled=float(info["modelled"]),
+            payload_bytes=float(payload),
+            counters={"npairs": float(len(sorted_pairs))},
+        )

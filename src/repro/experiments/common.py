@@ -299,8 +299,13 @@ class ExperimentScenario:
         redistribution: str = "none",
         adaptation: Optional[AdaptationConfig] = None,
         render_mode: str = "count",
+        engine: Optional[str] = None,
     ) -> InSituPipeline:
-        """Build a pipeline wired to this scenario's platform and rank count."""
+        """Build a pipeline wired to this scenario's platform and rank count.
+
+        ``engine`` selects the execution backend ("serial" or "vectorized");
+        the default follows :class:`PipelineConfig` (vectorized).
+        """
         config = PipelineConfig(
             metric=metric,
             redistribution=redistribution,
@@ -311,6 +316,7 @@ class ExperimentScenario:
             if adaptation is not None
             else AdaptationConfig(enabled=False, target_seconds=1.0),
             shuffle_seed=self.config.seed,
+            **({} if engine is None else {"engine": engine}),
         )
         return InSituPipeline(config, self.platform, nranks=self.nranks)
 

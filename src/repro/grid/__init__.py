@@ -7,10 +7,15 @@ The vocabulary follows Section IV-A of the paper:
 * a **subdomain** is the subarray handled by one process;
 * a **block** is a subarray of a subdomain.  The number of blocks per
   subdomain and the size of every block are constant across processes.
+
+:mod:`repro.grid.batch` adds :class:`BlockBatch`, a structure-of-arrays view
+over many equally-shaped blocks that the vectorized execution engine scores
+in bulk (lossless ``from_blocks``/``to_blocks`` round-tripping).
 """
 
 from repro.grid.rectilinear import RectilinearGrid
 from repro.grid.block import Block, BlockExtent
+from repro.grid.batch import BlockBatch, partition_by_shape
 from repro.grid.domain import Domain, Subdomain
 from repro.grid.decomposition import (
     CartesianDecomposition,
@@ -19,6 +24,8 @@ from repro.grid.decomposition import (
 )
 from repro.grid.reduction import (
     reduce_to_corners,
+    reduce_to_corners_batch,
+    reduction_error_batch,
     expand_from_corners,
     reduce_block,
     trilinear_sample,
@@ -28,12 +35,16 @@ __all__ = [
     "RectilinearGrid",
     "Block",
     "BlockExtent",
+    "BlockBatch",
+    "partition_by_shape",
     "Domain",
     "Subdomain",
     "CartesianDecomposition",
     "factorize_ranks",
     "split_axis",
     "reduce_to_corners",
+    "reduce_to_corners_batch",
+    "reduction_error_batch",
     "expand_from_corners",
     "reduce_block",
     "trilinear_sample",

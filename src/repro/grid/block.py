@@ -134,15 +134,31 @@ class Block:
         """Number of points the block covers in the domain (reduced or not)."""
         return self.extent.npoints
 
+    def _clone_with(self, **updates: object) -> "Block":
+        """Copy of the block with some fields replaced, skipping re-validation.
+
+        Only safe for fields that don't participate in the payload/extent
+        consistency checks (owner, score): the payload was validated when the
+        block was built, and these copies happen once per block per pipeline
+        step, which makes ``dataclasses.replace``'s re-validation the hot
+        path's dominant cost.  The frozen-dataclass guard lives in
+        ``__setattr__``, so filling the fresh instance's ``__dict__`` directly
+        is both legal and the fastest copy Python offers.
+        """
+        clone = object.__new__(Block)
+        clone.__dict__.update(self.__dict__)
+        clone.__dict__.update(updates)
+        return clone
+
     def with_owner(self, owner: int) -> "Block":
         """Return a copy of the block assigned to a different ``owner`` rank."""
         if owner < 0:
             raise ValueError(f"owner must be >= 0, got {owner}")
-        return replace(self, owner=int(owner))
+        return self._clone_with(owner=int(owner))
 
     def with_score(self, score: float) -> "Block":
         """Return a copy of the block with ``score`` attached."""
-        return replace(self, score=float(score))
+        return self._clone_with(score=float(score))
 
     def with_data(self, data: np.ndarray, reduced: bool) -> "Block":
         """Return a copy of the block carrying a new payload."""

@@ -16,7 +16,12 @@ subset the paper reports on is reproduced here under the same names:
 
 plus the variants the paper mentions but does not plot (ZFP- and LZ-based
 scorers, local entropy, multivariate combinations).  All metrics return
-"higher = more relevant" scores.  :class:`MetricRegistry` provides name-based
+"higher = more relevant" scores and expose three equivalent scoring paths:
+``score_block`` (one block), ``score_blocks`` (a sequence), and
+``score_batch`` (a stacked ``(nblocks, sx, sy, sz)`` array).  The
+array-friendly metrics (RANGE, VAR, STD, ITL, TRILIN) implement
+``score_batch`` as a single vectorised pass producing bitwise-identical
+scores; the coder-based metrics fall back to the per-block loop.  :class:`MetricRegistry` provides name-based
 construction, and :mod:`repro.metrics.comparison` / :mod:`repro.metrics.scoremap`
 implement the rank-agreement and scoremap analyses of Figures 3 and 4.
 """

@@ -42,6 +42,10 @@ class ScoreMetric(abc.ABC):
     name: str = "METRIC"
     #: Modelled evaluation cost (Blue Waters seconds); see :class:`MetricCost`.
     cost: MetricCost = MetricCost(per_point=5.0e-8)
+    #: Whether :meth:`score_batch` is a true vectorised implementation
+    #: (False means it falls back to a per-block loop — the coder-based
+    #: metrics do, their per-block state machines don't batch).
+    supports_batch: bool = False
 
     @abc.abstractmethod
     def score_block(self, data: np.ndarray) -> float:
@@ -50,6 +54,24 @@ class ScoreMetric(abc.ABC):
     def score_blocks(self, blocks: Iterable[np.ndarray]) -> List[float]:
         """Score a sequence of blocks (override for vectorised variants)."""
         return [self.score_block(b) for b in blocks]
+
+    def score_batch(self, batch: np.ndarray) -> np.ndarray:
+        """Score a stacked ``(nblocks, sx, sy, sz)`` batch of blocks.
+
+        Array-friendly metrics override this with a single vectorised pass
+        over the batch; the default delegates to :meth:`score_blocks` (so a
+        user metric that overrides only ``score_blocks`` behaves identically
+        under both execution engines).  Either way the result is bitwise
+        identical to scoring the blocks one at a time (the vectorised
+        overrides are written to share the exact arithmetic of their scalar
+        counterparts), so the engines can be swapped without perturbing
+        reduction decisions.
+        """
+        arr = self._prepare_batch(batch)
+        return np.array(
+            self.score_blocks([arr[i] for i in range(arr.shape[0])]),
+            dtype=np.float64,
+        )
 
     def modelled_seconds(self, npoints: int) -> float:
         """Modelled cost to score one block of ``npoints`` values."""
@@ -61,6 +83,21 @@ class ScoreMetric(abc.ABC):
     def _prepare(data: np.ndarray) -> np.ndarray:
         """Validate a block and return it as a float ndarray."""
         return ensure_float_array(ensure_3d(data, "block"), "block")
+
+    @staticmethod
+    def _prepare_batch(batch: np.ndarray) -> np.ndarray:
+        """Validate a stacked batch and return it as a float ndarray.
+
+        Applies the same dtype policy as :meth:`_prepare` (floating dtypes
+        preserved, everything else promoted to float64) so batched scores
+        match the per-block path exactly.
+        """
+        arr = np.asarray(batch)
+        if arr.ndim != 4:
+            raise ValueError(
+                f"batch must be 4-D (nblocks, sx, sy, sz), got shape {arr.shape}"
+            )
+        return ensure_float_array(arr, "batch")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.__class__.__name__}(name={self.name!r})"

@@ -20,7 +20,11 @@ import numpy as np
 
 from repro.cm1.reflectivity import DBZ_MAX, DBZ_MIN
 from repro.metrics.base import MetricCost, ScoreMetric
-from repro.utils.histogram import fixed_range_histogram, shannon_entropy
+from repro.utils.histogram import (
+    fixed_range_histogram,
+    fixed_range_histogram_batch,
+    shannon_entropy,
+)
 
 
 class HistogramEntropyMetric(ScoreMetric):
@@ -39,6 +43,7 @@ class HistogramEntropyMetric(ScoreMetric):
     name = "ITL"
     # Table I: 13.30 s on 64 cores -> ~4.6e-7 s per point.
     cost = MetricCost(per_point=4.63e-7)
+    supports_batch = True
 
     def __init__(
         self,
@@ -57,6 +62,16 @@ class HistogramEntropyMetric(ScoreMetric):
         arr = self._prepare(data)
         counts = fixed_range_histogram(arr, self.bins, self.value_range)
         return shannon_entropy(counts)
+
+    def score_batch(self, batch: np.ndarray) -> np.ndarray:
+        arr = self._prepare_batch(batch)
+        counts = fixed_range_histogram_batch(
+            arr.reshape(arr.shape[0], -1), self.bins, self.value_range
+        )
+        # The histograms are the expensive part and are fully vectorised; the
+        # per-row entropy reuses the scalar helper so the scores are bitwise
+        # identical to the per-block path.
+        return np.array([shannon_entropy(row) for row in counts], dtype=np.float64)
 
 
 class LocalEntropyMetric(ScoreMetric):

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.grid.reduction import reduction_error
+from repro.grid.reduction import reduction_error, reduction_error_batch
 from repro.metrics.base import MetricCost, ScoreMetric
 
 
@@ -22,7 +22,12 @@ class TrilinearErrorMetric(ScoreMetric):
     name = "TRILIN"
     # Table I: 14.30 s on 64 cores -> ~5.0e-7 s per point.
     cost = MetricCost(per_point=4.98e-7)
+    supports_batch = True
 
     def score_block(self, data: np.ndarray) -> float:
         arr = self._prepare(data)
         return reduction_error(arr)
+
+    def score_batch(self, batch: np.ndarray) -> np.ndarray:
+        arr = self._prepare_batch(batch)
+        return reduction_error_batch(arr)

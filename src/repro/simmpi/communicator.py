@@ -24,11 +24,26 @@ from repro.simmpi.costmodel import NetworkCostModel
 from repro.simmpi.timing import VirtualClocks
 
 
+#: Wire-size estimate for payloads that cannot be pickled (open handles,
+#: lambdas, ...).  Such objects could not cross a real MPI boundary at all;
+#: pricing them as one small pickled envelope keeps the cost model defined
+#: without hiding the anomaly behind an inflated transfer.
+UNPICKLABLE_PAYLOAD_NBYTES = 64
+
+#: Errors ``pickle.dumps`` raises for unpicklable objects: PicklingError for
+#: types pickle rejects itself, TypeError/AttributeError for objects whose
+#: reduction fails (e.g. locks, sockets, local classes), RecursionError for
+#: pathologically nested structures.  Anything else (MemoryError, ...) is a
+#: real failure and propagates.
+_PICKLE_ERRORS = (pickle.PicklingError, TypeError, AttributeError, RecursionError)
+
+
 def _payload_nbytes(obj: Any) -> int:
     """Approximate the wire size of a Python payload.
 
     NumPy arrays count their buffer size; other objects are priced by their
     pickle length (which is what a real mpi4py lowercase call would send).
+    Unpicklable payloads are priced at :data:`UNPICKLABLE_PAYLOAD_NBYTES`.
     """
     if isinstance(obj, np.ndarray):
         return int(obj.nbytes)
@@ -38,8 +53,8 @@ def _payload_nbytes(obj: Any) -> int:
         return int(sum(x.nbytes for x in obj))
     try:
         return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
-    except Exception:
-        return 64
+    except _PICKLE_ERRORS:
+        return UNPICKLABLE_PAYLOAD_NBYTES
 
 
 class BSPCommunicator:

@@ -1,0 +1,193 @@
+"""Tests for the ExecutionEngine, the step contract, and backend parity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import AdaptationConfig, PipelineConfig
+from repro.core.engine import ENGINE_BACKENDS, ExecutionEngine
+from repro.core.scoring_step import ScoringStep, VectorizedScoringStep
+from repro.core.step import IterationContext, PipelineStep, StepReport
+from repro.perfmodel.platform import PlatformModel
+
+
+class TestStepReport:
+    def test_maxima(self):
+        report = StepReport(
+            step="scoring",
+            measured_per_rank=[0.1, 0.3, 0.2],
+            modelled_per_rank=[1.0, 4.0, 2.0],
+        )
+        assert report.measured_max == pytest.approx(0.3)
+        assert report.modelled_max == pytest.approx(4.0)
+
+    def test_empty_maxima(self):
+        report = StepReport(step="x")
+        assert report.measured_max == 0.0
+        assert report.modelled_max == 0.0
+
+    def test_collective(self):
+        report = StepReport.collective(
+            "sorting", measured=0.5, modelled=2.5, payload_bytes=128.0
+        )
+        assert report.measured_per_rank == [0.5]
+        assert report.modelled_max == pytest.approx(2.5)
+        assert report.payload_bytes == pytest.approx(128.0)
+
+
+class TestIterationContext:
+    def test_requires_raise_before_steps(self):
+        context = IterationContext(
+            iteration=0, percent=0.0, nranks=1, per_rank_blocks=[[]]
+        )
+        with pytest.raises(RuntimeError):
+            context.require_pairs()
+        with pytest.raises(RuntimeError):
+            context.require_sorted()
+
+
+class TestEngineConstruction:
+    def test_invalid_backend(self):
+        with pytest.raises(ValueError):
+            ExecutionEngine(
+                PipelineConfig(), PlatformModel.blue_waters(4), backend="gpu"
+            )
+
+    def test_invalid_engine_in_config(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(engine="banana")
+
+    def test_backend_selects_scoring_step(self):
+        platform = PlatformModel.blue_waters(4)
+        serial = ExecutionEngine(PipelineConfig(engine="serial"), platform)
+        vector = ExecutionEngine(PipelineConfig(engine="vectorized"), platform)
+        assert type(serial.scoring) is ScoringStep
+        assert type(vector.scoring) is VectorizedScoringStep
+        assert serial.backend == "serial"
+        assert vector.backend == "vectorized"
+
+    def test_steps_satisfy_protocol(self):
+        engine = ExecutionEngine(PipelineConfig(), PlatformModel.blue_waters(4))
+        assert [step.name for step in engine.steps] == [
+            "scoring",
+            "sorting",
+            "reduction",
+            "redistribution",
+            "rendering",
+        ]
+        for step in engine.steps:
+            assert isinstance(step, PipelineStep)
+
+    def test_backends_constant(self):
+        assert ENGINE_BACKENDS == ("serial", "vectorized")
+
+
+class TestEngineExecution:
+    def test_run_iteration_reports(self, tiny_scenario):
+        engine = ExecutionEngine(
+            PipelineConfig(redistribution="round_robin"),
+            tiny_scenario.platform,
+            nranks=tiny_scenario.nranks,
+        )
+        context = engine.run_iteration(tiny_scenario.blocks_for(0), 50.0, 0)
+        assert set(context.reports) == {
+            "scoring",
+            "sorting",
+            "reduction",
+            "redistribution",
+            "rendering",
+        }
+        scoring = context.reports["scoring"]
+        assert scoring.counters["nblocks"] == tiny_scenario.nblocks
+        assert context.reports["reduction"].counters["nreduced"] > 0
+        assert context.reports["redistribution"].payload_bytes > 0
+        assert context.reports["sorting"].payload_bytes > 0
+        assert len(context.reports["rendering"].per_rank_counters["triangles"]) == (
+            tiny_scenario.nranks
+        )
+        result = engine.iteration_result(context)
+        assert result.step_reports is context.reports or result.step_reports == context.reports
+        assert result.moved_bytes == context.reports["redistribution"].payload_bytes
+
+    def test_rank_count_validated(self, tiny_scenario):
+        engine = ExecutionEngine(PipelineConfig(), tiny_scenario.platform, nranks=4)
+        with pytest.raises(ValueError):
+            engine.run_iteration([[]], 0.0, 0)
+
+    def test_percent_validated(self, tiny_scenario):
+        engine = ExecutionEngine(
+            PipelineConfig(), tiny_scenario.platform, nranks=tiny_scenario.nranks
+        )
+        with pytest.raises(ValueError):
+            engine.run_iteration(tiny_scenario.blocks_for(0), 120.0, 0)
+
+
+@pytest.mark.parametrize("metric", ["VAR", "ITL", "TRILIN", "LEA"])
+@pytest.mark.parametrize("redistribution", ["none", "round_robin"])
+class TestBackendParity:
+    """Serial and vectorized backends must be indistinguishable downstream."""
+
+    def _trace(self, scenario, metric, redistribution, engine):
+        pipeline = scenario.build_pipeline(
+            metric=metric,
+            redistribution=redistribution,
+            adaptation=AdaptationConfig(enabled=True, target_seconds=5.0),
+            engine=engine,
+        )
+        trace = []
+        for i in range(4):
+            result, _ = pipeline.process_iteration(scenario.blocks_for(i % 3))
+            scoring = result.step_reports["scoring"]
+            trace.append(
+                (
+                    result.percent_reduced,
+                    result.nreduced,
+                    result.moved_bytes,
+                    tuple(result.triangles_per_rank),
+                    result.modelled_total,
+                    scoring.modelled_per_rank,
+                )
+            )
+        return trace
+
+    def test_identical_trajectories(self, tiny_scenario, metric, redistribution):
+        serial = self._trace(tiny_scenario, metric, redistribution, "serial")
+        vector = self._trace(tiny_scenario, metric, redistribution, "vectorized")
+        assert serial == vector
+
+    def test_identical_scores_and_ids(self, tiny_scenario, metric, redistribution):
+        blocks = tiny_scenario.blocks_for(0)
+        traces = {}
+        for engine in ("serial", "vectorized"):
+            pipeline = tiny_scenario.build_pipeline(
+                metric=metric, redistribution=redistribution, engine=engine
+            )
+            context = pipeline.engine.run_iteration(blocks, 25.0, 0)
+            traces[engine] = (
+                context.sorted_pairs,
+                sorted(context.reduced_ids),
+                [
+                    [(b.block_id, b.score) for b in rank]
+                    for rank in context.per_rank_blocks
+                ],
+            )
+        assert traces["serial"] == traces["vectorized"]
+
+
+class TestMonitorStepReportQueries:
+    def test_payload_and_counter_series(self, tiny_scenario):
+        pipeline = tiny_scenario.build_pipeline(metric="VAR", redistribution="round_robin")
+        for i in range(2):
+            pipeline.process_iteration(tiny_scenario.blocks_for(i), percent_override=50.0)
+        moved = pipeline.monitor.payload_bytes_series("redistribution")
+        assert len(moved) == 2 and all(m > 0 for m in moved)
+        reduced = pipeline.monitor.counter_series("reduction", "nreduced")
+        assert all(r > 0 for r in reduced)
+        with pytest.raises(ValueError):
+            pipeline.monitor.payload_bytes_series("warp")
+        with pytest.raises(ValueError):
+            pipeline.monitor.counter_series("warp", "x")
+
+    def test_config_summary_reports_engine(self, tiny_scenario):
+        pipeline = tiny_scenario.build_pipeline(engine="serial")
+        assert pipeline.config_summary()["engine"] == "serial"

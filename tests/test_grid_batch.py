@@ -1,0 +1,120 @@
+"""Tests for the BlockBatch structure-of-arrays container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grid.batch import BlockBatch, partition_by_shape
+from repro.grid.block import Block, BlockExtent
+
+
+def make_block(block_id, shape=(4, 3, 2), offset=0, dtype=np.float32, **kwargs):
+    rng = np.random.default_rng(block_id + 7)
+    extent = BlockExtent(
+        start=(offset, 0, 0),
+        stop=(offset + shape[0], shape[1], shape[2]),
+    )
+    data = rng.normal(size=shape).astype(dtype)
+    return Block(block_id=block_id, extent=extent, data=data, **kwargs)
+
+
+class TestBlockBatchRoundTrip:
+    def test_lossless_round_trip(self):
+        blocks = [
+            make_block(0, owner=1, home=2, field_name="qv"),
+            make_block(1, offset=4).with_score(3.25),
+            make_block(2, offset=8),
+        ]
+        batch = BlockBatch.from_blocks(blocks)
+        rebuilt = batch.to_blocks()
+        assert len(rebuilt) == len(blocks)
+        for original, copy in zip(blocks, rebuilt):
+            assert copy.block_id == original.block_id
+            assert copy.extent == original.extent
+            assert copy.owner == original.owner
+            assert copy.home == original.home
+            assert copy.reduced == original.reduced
+            assert copy.score == original.score
+            assert copy.field_name == original.field_name
+            assert copy.data.dtype == original.data.dtype
+            np.testing.assert_array_equal(copy.data, original.data)
+
+    def test_round_trip_preserves_nan_score(self):
+        blocks = [make_block(0).with_score(float("nan")), make_block(1, offset=4)]
+        rebuilt = BlockBatch.from_blocks(blocks).to_blocks()
+        assert np.isnan(rebuilt[0].score)
+        assert rebuilt[1].score is None
+
+    def test_round_trip_reduced_blocks(self):
+        block = make_block(0, shape=(4, 4, 4))
+        from repro.grid.reduction import reduce_block
+
+        reduced = reduce_block(block)
+        rebuilt = BlockBatch.from_blocks([reduced]).to_blocks()[0]
+        assert rebuilt.reduced
+        np.testing.assert_array_equal(rebuilt.data, reduced.data)
+
+    def test_payloads_are_copies(self):
+        blocks = [make_block(0)]
+        batch = BlockBatch.from_blocks(blocks)
+        rebuilt = batch.to_blocks()[0]
+        batch.data[0, 0, 0, 0] = 1e9
+        assert rebuilt.data[0, 0, 0] != 1e9
+
+
+class TestBlockBatchProperties:
+    def test_shape_and_counts(self):
+        blocks = [make_block(i, offset=4 * i) for i in range(3)]
+        batch = BlockBatch.from_blocks(blocks)
+        assert batch.nblocks == 3
+        assert batch.block_shape == (4, 3, 2)
+        assert batch.npoints == 3 * 4 * 3 * 2
+        assert batch.nbytes == sum(b.nbytes for b in blocks)
+        assert batch.flat_data.shape == (3, 24)
+
+    def test_with_scores(self):
+        blocks = [make_block(i, offset=4 * i) for i in range(2)]
+        batch = BlockBatch.from_blocks(blocks).with_scores(np.array([1.0, 2.0]))
+        assert batch.score_mask.all()
+        assert [b.score for b in batch.to_blocks()] == [1.0, 2.0]
+
+    def test_with_scores_wrong_shape(self):
+        batch = BlockBatch.from_blocks([make_block(0)])
+        with pytest.raises(ValueError):
+            batch.with_scores(np.array([1.0, 2.0]))
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            BlockBatch.from_blocks([])
+
+    def test_mixed_shapes_rejected(self):
+        blocks = [make_block(0), make_block(1, shape=(5, 3, 2), offset=4)]
+        with pytest.raises(ValueError):
+            BlockBatch.from_blocks(blocks)
+
+
+class TestPartitionByShape:
+    def test_groups_cover_all_positions(self):
+        blocks = [
+            make_block(0),
+            make_block(1, shape=(5, 3, 2), offset=4),
+            make_block(2, offset=9),
+            make_block(3, shape=(5, 3, 2), offset=13),
+        ]
+        groups = partition_by_shape(blocks)
+        assert len(groups) == 2
+        covered = sorted(i for indices, _ in groups for i in indices)
+        assert covered == [0, 1, 2, 3]
+        for indices, batch in groups:
+            assert batch.nblocks == len(indices)
+            for row, position in enumerate(indices):
+                np.testing.assert_array_equal(batch.data[row], blocks[position].data)
+
+    def test_groups_split_by_dtype(self):
+        blocks = [make_block(0), make_block(1, offset=4, dtype=np.float64)]
+        groups = partition_by_shape(blocks)
+        assert len(groups) == 2
+
+    def test_empty_input(self):
+        assert partition_by_shape([]) == []

@@ -1,0 +1,154 @@
+"""Vectorized-vs-scalar parity: every metric must score identically via
+``score_block``, ``score_blocks``, and ``score_batch`` on the same blocks.
+
+This is the invariant the execution engines rely on: the reduction and
+redistribution decisions are driven by score *order*, so even a one-ulp
+difference between the scalar and the batched path could flip a decision and
+make the backends diverge.  The vectorised implementations are written to
+share the exact arithmetic of their scalar counterparts; these tests pin that
+down with strict (bitwise) equality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.registry import default_registry
+from repro.utils.histogram import fixed_range_histogram, fixed_range_histogram_batch
+
+#: Metrics expected to provide a true vectorised score_batch.
+VECTORIZED = {"RANGE", "VAR", "STD", "ITL", "TRILIN"}
+
+
+def random_blocks(dtype, shape=(7, 6, 5), nblocks=12, seed=99):
+    rng = np.random.default_rng(seed)
+    return [
+        rng.uniform(-60.0, 80.0, size=shape).astype(dtype) for _ in range(nblocks)
+    ]
+
+
+@pytest.mark.parametrize("name", default_registry().names())
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+class TestScorePathParity:
+    def test_three_paths_identical(self, name, dtype):
+        metric = default_registry().create(name)
+        blocks = random_blocks(dtype)
+        batch = np.stack(blocks)
+        scalar = [metric.score_block(b) for b in blocks]
+        listed = metric.score_blocks(blocks)
+        batched = metric.score_batch(batch)
+        assert listed == scalar
+        assert np.asarray(batched, dtype=np.float64).tolist() == scalar
+
+    def test_non_contiguous_blocks_identical(self, name, dtype):
+        # Blocks carved out of a larger field are views; the batched path
+        # stacks them into contiguous rows.  Scores must still match exactly.
+        metric = default_registry().create(name)
+        rng = np.random.default_rng(5)
+        field = rng.uniform(-60.0, 80.0, size=(16, 14, 12)).astype(dtype)
+        views = [
+            field[i : i + 6, j : j + 5, k : k + 4]
+            for i, j, k in [(0, 0, 0), (5, 4, 3), (10, 9, 8), (3, 7, 1)]
+        ]
+        scalar = [metric.score_block(v) for v in views]
+        batched = metric.score_batch(np.stack(views))
+        assert np.asarray(batched, dtype=np.float64).tolist() == scalar
+
+
+class TestSupportsBatchFlags:
+    def test_vectorized_metrics_flagged(self):
+        registry = default_registry()
+        for name in registry.names():
+            metric = registry.create(name)
+            assert metric.supports_batch == (name in VECTORIZED)
+
+    def test_batch_rejects_wrong_ndim(self):
+        metric = default_registry().create("VAR")
+        with pytest.raises(ValueError):
+            metric.score_batch(np.zeros((4, 4, 4)))
+
+
+class TestCustomMetricOverrides:
+    def test_score_blocks_override_reaches_score_batch(self):
+        """A user metric overriding only score_blocks must behave identically
+        under the vectorized engine (whose fallback goes through score_blocks)."""
+        from repro.metrics.base import ScoreMetric
+
+        class RankNormalized(ScoreMetric):
+            name = "RANKNORM"
+
+            def score_block(self, data):
+                return float(np.ptp(np.asarray(data)))
+
+            def score_blocks(self, blocks):
+                raw = [self.score_block(b) for b in blocks]
+                peak = max(raw) or 1.0
+                return [r / peak for r in raw]  # cross-block normalisation
+
+        metric = RankNormalized()
+        blocks = random_blocks(np.float64, nblocks=5)
+        listed = metric.score_blocks(blocks)
+        batched = metric.score_batch(np.stack(blocks))
+        assert np.asarray(batched).tolist() == listed
+        assert max(listed) == 1.0  # the override actually ran
+
+    def test_array_like_batch_accepted(self):
+        # _prepare_batch accepts anything np.asarray can make 4-D, including
+        # nested lists; the vectorised implementations must not assume .shape.
+        for name in ("RANGE", "VAR", "STD", "ITL", "TRILIN"):
+            metric = default_registry().create(name)
+            blocks = random_blocks(np.float64, shape=(3, 3, 2), nblocks=2)
+            nested = [b.tolist() for b in blocks]
+            expected = [metric.score_block(b) for b in blocks]
+            assert np.asarray(metric.score_batch(nested)).tolist() == expected
+
+
+class TestNanHandling:
+    def test_histogram_drops_nan(self):
+        values = np.array([1.0, np.nan, 5.0])
+        counts = fixed_range_histogram(values, 4, (0.0, 8.0))
+        assert counts.tolist() == [1, 0, 1, 0]
+        counts = fixed_range_histogram(values, 4, (0.0, 8.0), clip=False)
+        assert counts.sum() == 2
+
+    def test_histogram_batch_drops_nan(self):
+        values = np.array([[1.0, np.nan, 5.0], [np.nan, np.nan, np.nan]])
+        for clip in (True, False):
+            batch = fixed_range_histogram_batch(values, 4, (0.0, 8.0), clip=clip)
+            for row, counts in zip(values, batch):
+                expected = fixed_range_histogram(row, 4, (0.0, 8.0), clip=clip)
+                np.testing.assert_array_equal(counts, expected)
+        assert fixed_range_histogram_batch(values, 4, (0.0, 8.0))[1].sum() == 0
+
+    def test_itl_scores_nan_blocks_identically(self):
+        metric = default_registry().create("ITL")
+        blocks = random_blocks(np.float64, nblocks=3)
+        blocks[1][0, 0, 0] = np.nan
+        scalar = [metric.score_block(b) for b in blocks]
+        batched = metric.score_batch(np.stack(blocks))
+        assert np.asarray(batched).tolist() == scalar
+        assert all(np.isfinite(scalar))
+
+
+class TestHistogramBatchParity:
+    @pytest.mark.parametrize("clip", [True, False])
+    def test_batch_rows_match_scalar(self, clip):
+        rng = np.random.default_rng(3)
+        values = rng.uniform(-100.0, 120.0, size=(9, 240))
+        batch = fixed_range_histogram_batch(values, 64, (-60.0, 80.0), clip=clip)
+        for row, counts in zip(values, batch):
+            expected = fixed_range_histogram(row, 64, (-60.0, 80.0), clip=clip)
+            np.testing.assert_array_equal(counts, expected)
+
+    def test_empty_batch(self):
+        counts = fixed_range_histogram_batch(np.zeros((0, 10)), 8, (0.0, 1.0))
+        assert counts.shape == (0, 8)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            fixed_range_histogram_batch(np.zeros((2, 3)), 0, (0.0, 1.0))
+        with pytest.raises(ValueError):
+            fixed_range_histogram_batch(np.zeros((2, 3)), 4, (1.0, 1.0))
+        with pytest.raises(ValueError):
+            fixed_range_histogram_batch(np.zeros(3), 4, (0.0, 1.0))

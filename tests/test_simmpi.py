@@ -185,6 +185,23 @@ class TestBSPCommunicator:
         assert _payload_nbytes(arr) == 800
         assert _payload_nbytes("hello") > 0
 
+    def test_payload_nbytes_unpicklable_uses_estimate(self):
+        import threading
+
+        from repro.simmpi.communicator import UNPICKLABLE_PAYLOAD_NBYTES
+
+        lock = threading.Lock()  # TypeError from pickle
+        assert _payload_nbytes(lock) == UNPICKLABLE_PAYLOAD_NBYTES
+        assert _payload_nbytes(lambda x: x) == UNPICKLABLE_PAYLOAD_NBYTES
+
+    def test_payload_nbytes_real_errors_propagate(self):
+        class Exploding:
+            def __reduce__(self):
+                raise OSError("disk on fire")
+
+        with pytest.raises(OSError):
+            _payload_nbytes(Exploding())
+
 
 class TestSimRuntimeSPMD:
     def test_allreduce_across_threads(self):
