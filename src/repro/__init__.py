@@ -8,7 +8,8 @@ Performance-Constrained In Situ Visualization of Atmospheric Simulations"
   redistribute → render → adapt, Algorithm 1), built from composable
   :class:`~repro.core.step.PipelineStep` objects run by an
   :class:`~repro.core.engine.ExecutionEngine` with interchangeable
-  ``serial`` / ``vectorized`` backends (``PipelineConfig(engine=...)``);
+  ``serial`` / ``vectorized`` / ``parallel`` backends
+  (``PipelineConfig(engine=...)``);
 * :mod:`repro.grid.batch` — :class:`~repro.grid.batch.BlockBatch`, the
   structure-of-arrays container the vectorized backend scores in bulk;
 * :mod:`repro.cm1` — a synthetic CM1-like supercell simulation and its
@@ -85,7 +86,8 @@ def quickstart_pipeline(
     This is the programmatic equivalent of ``examples/quickstart.py``: a small
     synthetic storm, a handful of virtual ranks, and the full six-step
     pipeline with adaptation enabled.  ``engine`` selects the execution
-    backend ("vectorized" or "serial"); both give identical results.
+    backend ("vectorized", "serial", or "parallel"); all give identical
+    results.
     """
     from repro.experiments.common import ExperimentScenario
 

@@ -31,7 +31,11 @@ from repro.compress.bitplane import (
     zigzag_decode,
     zigzag_encode,
 )
-from repro.compress.predictors import lorenzo_reconstruct, lorenzo_residuals
+from repro.compress.predictors import (
+    lorenzo_reconstruct,
+    lorenzo_residuals,
+    lorenzo_residuals_batch,
+)
 
 _MAGIC = b"FPZL"
 _HEADER = struct.Struct("<4sBBHIII")  # magic, dtype code, reserved, pad, nx, ny, nz
@@ -96,6 +100,33 @@ class FpzipLikeCompressor(Compressor):
             shape=tuple(arr.shape),
             dtype=str(dtype),
         )
+
+    def compressed_size_batch(self, batch: np.ndarray) -> np.ndarray:
+        """Encoded sizes of a stacked batch, without materialising payloads.
+
+        The payload layout is header + group-size table + packed nibble
+        lengths + the significant bytes of every code, so its size is fully
+        determined by the per-code byte lengths.  Computing those lengths for
+        the whole batch in one vectorised pass (ordered-uint mapping, batched
+        Lorenzo residuals, zigzag, byte-length classification) yields sizes
+        identical to :meth:`compress` at a fraction of the per-block Python
+        overhead — this is the scoring hot path of the FPZIP metric.
+        """
+        arr = self._prepare_batch(batch)
+        nblocks = arr.shape[0]
+        if nblocks == 0:
+            return np.zeros(0, dtype=np.int64)
+        bits = 32 if arr.dtype == np.float32 else 64
+        max_bytes = bits // 8
+        count = int(arr[0].size)
+
+        codes = float_to_ordered_uint(arr)
+        residuals = lorenzo_residuals_batch(codes)
+        zz = zigzag_encode(residuals.view(np.int32 if bits == 32 else np.int64), bits)
+        lengths = byte_lengths(zz.reshape(nblocks, -1), max_bytes)
+
+        fixed = _HEADER.size + 4 * max_bytes + (count + 1) // 2
+        return fixed + lengths.sum(axis=1, dtype=np.int64)
 
     def decompress(self, result: CompressionResult) -> np.ndarray:
         """Bit-exact reconstruction of the original block."""

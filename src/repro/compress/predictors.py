@@ -55,6 +55,31 @@ def lorenzo_residuals(values: np.ndarray) -> np.ndarray:
     return r
 
 
+def lorenzo_residuals_batch(values: np.ndarray) -> np.ndarray:
+    """Lorenzo residuals of a stacked ``(nblocks, sx, sy, sz)`` batch.
+
+    Identical arithmetic to :func:`lorenzo_residuals` applied independently to
+    every block: the mixed differences run along the three spatial axes only,
+    so ``lorenzo_residuals_batch(batch)[i]`` equals
+    ``lorenzo_residuals(batch[i])`` bit for bit.
+    """
+    v = np.asarray(values)
+    if v.ndim != 4:
+        raise ValueError(f"expected a 4-D batch, got shape {v.shape}")
+    if v.dtype not in (np.uint32, np.uint64):
+        raise ValueError(f"expected uint32/uint64 input, got {v.dtype}")
+    r = v.copy()
+    for axis in (1, 2, 3):
+        shifted = np.zeros_like(r)
+        idx_src = [slice(None)] * 4
+        idx_dst = [slice(None)] * 4
+        idx_src[axis] = slice(0, r.shape[axis] - 1)
+        idx_dst[axis] = slice(1, None)
+        shifted[tuple(idx_dst)] = r[tuple(idx_src)]
+        r = r - shifted
+    return r
+
+
 def lorenzo_reconstruct(residuals: np.ndarray) -> np.ndarray:
     """Inverse of :func:`lorenzo_residuals` (cumulative sums along each axis)."""
     r = np.asarray(residuals)

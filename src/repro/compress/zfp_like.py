@@ -47,6 +47,27 @@ def _to_cells(arr: np.ndarray) -> np.ndarray:
     return cells.reshape(-1, _CELL, _CELL, _CELL)
 
 
+def _pad_to_multiple_batch(arr: np.ndarray, multiple: int) -> np.ndarray:
+    """Batch variant of :func:`_pad_to_multiple` (spatial axes 1..3 only)."""
+    pads = [(0, 0)] + [(0, (-s) % multiple) for s in arr.shape[1:]]
+    if any(p[1] for p in pads):
+        arr = np.pad(arr, pads, mode="edge")
+    return arr
+
+
+def _to_cells_batch(arr: np.ndarray) -> np.ndarray:
+    """Reshape a padded ``(nblocks, nx, ny, nz)`` batch into (nblocks, ncells, 4, 4, 4).
+
+    Cell order within each block matches :func:`_to_cells` exactly.
+    """
+    nb, nx, ny, nz = arr.shape
+    cells = arr.reshape(
+        nb, nx // _CELL, _CELL, ny // _CELL, _CELL, nz // _CELL, _CELL
+    )
+    cells = cells.transpose(0, 1, 3, 5, 2, 4, 6)
+    return cells.reshape(nb, -1, _CELL, _CELL, _CELL)
+
+
 def _from_cells(cells: np.ndarray, padded_shape: Tuple[int, int, int]) -> np.ndarray:
     nx, ny, nz = padded_shape
     grid = cells.reshape(nx // _CELL, ny // _CELL, nz // _CELL, _CELL, _CELL, _CELL)
@@ -118,8 +139,12 @@ class ZfpLikeCompressor(Compressor):
 
     def compress(self, block: np.ndarray) -> CompressionResult:
         """Encode ``block`` with fixed-precision bit-plane truncation."""
-        arr = self._prepare(block).astype(np.float64)
-        original_nbytes = int(np.asarray(block).nbytes)
+        prepared = self._prepare(block)
+        # Like the other coders, the recorded original size is that of the
+        # *prepared* (float32/float64) block — the buffer actually encoded —
+        # so ratios are comparable across compressors for any input dtype.
+        original_nbytes = int(prepared.nbytes)
+        arr = prepared.astype(np.float64)
         shape = tuple(arr.shape)
         padded = _pad_to_multiple(arr, _CELL)
         cells = _to_cells(padded)
@@ -173,6 +198,42 @@ class ZfpLikeCompressor(Compressor):
             shape=shape,
             dtype=str(np.asarray(block).dtype),
         )
+
+    def compressed_size_batch(self, batch: np.ndarray) -> np.ndarray:
+        """Encoded sizes of a stacked batch, without materialising payloads.
+
+        Mirrors :meth:`compress` exactly — pad, cell split, block-floating-
+        point quantisation, lifting transform, zigzag, byte-length
+        classification — but runs every stage over the whole
+        ``(nblocks * ncells, 4, 4, 4)`` cell stack at once and only sums the
+        byte lengths instead of gathering payload bytes.
+        """
+        arr = self._prepare_batch(batch).astype(np.float64)
+        nblocks = arr.shape[0]
+        if nblocks == 0:
+            return np.zeros(0, dtype=np.int64)
+        padded = _pad_to_multiple_batch(arr, _CELL)
+        cells = _to_cells_batch(padded)
+        ncells = cells.shape[1]
+        flat_cells = cells.reshape(nblocks * ncells, _CELL, _CELL, _CELL)
+
+        maxabs = np.abs(flat_cells).reshape(nblocks * ncells, -1).max(axis=1)
+        exponents = np.zeros(nblocks * ncells, dtype=np.int32)
+        nonzero = maxabs > 0
+        exponents[nonzero] = np.ceil(np.log2(maxabs[nonzero])).astype(np.int32)
+        exponents = np.clip(exponents, -127, 127)
+        scale = np.ldexp(1.0, (self.precision - 2) - exponents)
+        ints = np.rint(flat_cells * scale[:, None, None, None]).astype(np.int64)
+
+        coeffs = self._forward_transform(ints)
+
+        from repro.compress.bitplane import byte_lengths, zigzag_encode
+
+        zz = zigzag_encode(coeffs.reshape(nblocks, -1).astype(np.int64), 64)
+        lengths = byte_lengths(zz, 8)
+        ncoeffs = ncells * _CELL**3
+        fixed = _HEADER.size + 32 + ncells + (ncoeffs + 1) // 2
+        return fixed + lengths.sum(axis=1, dtype=np.int64)
 
     def decompress(self, result: CompressionResult) -> np.ndarray:
         """Reconstruct the block (lossy, error bounded by the precision)."""

@@ -19,7 +19,7 @@ blocks of every simulation iteration:
 Each of the five data steps implements the :class:`PipelineStep` contract
 (:mod:`repro.core.step`): ``execute(context) -> StepReport``.  The
 :class:`ExecutionEngine` (:mod:`repro.core.engine`) runs the step sequence
-with a ``"serial"`` or ``"vectorized"`` backend — selected through
+with a ``"serial"``, ``"vectorized"``, or ``"parallel"`` backend — selected through
 ``PipelineConfig.engine`` — and :class:`InSituPipeline` layers the adaptation
 controller and the :class:`PerformanceMonitor` on top.  The monitor records
 per-iteration, per-step timings in both measured wall-clock and modelled

@@ -9,7 +9,7 @@ from repro.utils.validation import ensure_in_range, ensure_positive
 
 #: Execution backends selectable through ``PipelineConfig.engine``; the
 #: authoritative list (the engine module re-exports it).
-ENGINE_BACKENDS = ("serial", "vectorized")
+ENGINE_BACKENDS = ("serial", "vectorized", "parallel")
 
 
 @dataclass(frozen=True)
@@ -79,11 +79,15 @@ class PipelineConfig:
         Execution backend of the step sequence: ``"vectorized"`` (default)
         scores each rank's blocks as stacked
         :class:`~repro.grid.batch.BlockBatch` arrays; ``"serial"`` iterates
-        blocks one at a time.  Both produce identical scores, reduction and
-        redistribution decisions, and modelled timings; measured wall-clock
-        naturally differs (the vectorized step attributes one global pass
-        proportionally to per-rank point counts), so runs driven by
-        ``use_modelled_time=False`` are backend- and machine-dependent.
+        blocks one at a time; ``"parallel"`` additionally fans the per-shape
+        block groups out over a ``concurrent.futures`` thread pool, which is
+        how metrics whose scoring is inherently per-block (user-supplied
+        scalar metrics) scale with cores.  All backends produce identical
+        scores, reduction and redistribution decisions, and modelled timings;
+        measured wall-clock naturally differs (the vectorized and parallel
+        steps attribute one global pass proportionally to per-rank point
+        counts), so runs driven by ``use_modelled_time=False`` are backend-
+        and machine-dependent.
     """
 
     metric: str = "VAR"

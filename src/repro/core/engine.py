@@ -9,9 +9,12 @@ data-parallel steps are implemented:
   implementation, and the behaviour of the original hard-wired pipeline);
 * ``"vectorized"`` — the scoring step stacks all ranks' block payloads into
   shape-homogeneous arrays (the :class:`~repro.grid.batch.BlockBatch` data
-  layout) and scores them with one ``score_batch`` call per group.
+  layout) and scores them with one ``score_batch`` call per group;
+* ``"parallel"`` — the same grouping fanned out over a ``concurrent.futures``
+  thread pool, so metrics whose scoring is inherently per-block (e.g.
+  user-supplied scalar metrics) scale with cores too.
 
-Both backends produce bitwise-identical decisions and modelled results (ids,
+All backends produce bitwise-identical decisions and modelled results (ids,
 scores, reduction decisions, moved bytes, modelled seconds) — measured
 wall-clock is the one quantity that legitimately differs; the vectorised
 backend is simply faster, because the per-block Python overhead of the hot
@@ -29,7 +32,11 @@ from repro.core.redistribution import RedistributionStep, make_strategy
 from repro.core.reduction_step import ReductionStep
 from repro.core.rendering_step import RenderingStep
 from repro.core.results import IterationResult
-from repro.core.scoring_step import ScoringStep, VectorizedScoringStep
+from repro.core.scoring_step import (
+    ParallelScoringStep,
+    ScoringStep,
+    VectorizedScoringStep,
+)
 from repro.core.sorting_step import SortingStep
 from repro.core.step import IterationContext, PipelineStep
 from repro.grid.block import Block
@@ -55,7 +62,8 @@ class ExecutionEngine:
     comm:
         Optional pre-built communicator (mainly for tests).
     backend:
-        Override of ``config.engine`` (``"serial"`` or ``"vectorized"``).
+        Override of ``config.engine`` (``"serial"``, ``"vectorized"``, or
+        ``"parallel"``).
     """
 
     def __init__(
@@ -82,9 +90,11 @@ class ExecutionEngine:
                 f"communicator has {self.comm.nranks} ranks, expected {self.nranks}"
             )
         self.metric = create_metric(config.metric)
-        scoring_cls = (
-            VectorizedScoringStep if self.backend == "vectorized" else ScoringStep
-        )
+        scoring_cls = {
+            "serial": ScoringStep,
+            "vectorized": VectorizedScoringStep,
+            "parallel": ParallelScoringStep,
+        }[self.backend]
         self.scoring = scoring_cls(self.metric, platform)
         self.sorting = SortingStep(self.comm)
         self.reduction = ReductionStep()

@@ -8,6 +8,7 @@ only the blocks it owns.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.core.step import IterationContext, StepReport
@@ -25,12 +26,16 @@ def select_blocks_to_reduce(sorted_pairs: Sequence[ScorePair], percent: float) -
     """Ids of the ``percent``% lowest-scored blocks.
 
     ``sorted_pairs`` must already be in ascending (score, id) order — the
-    output of the sorting step.  The count is rounded to the nearest block.
+    output of the sorting step.  The count is rounded half-up to the nearest
+    block (``floor(x + 0.5)``): Python's ``round()`` does banker's rounding,
+    under which e.g. 5% of 10 blocks reduced 0 blocks while 5% of 30 reduced
+    2 — the same requested percentage must round the same way regardless of
+    the block count's parity.
     """
     if not (0.0 <= percent <= 100.0):
         raise ValueError(f"percent must be in [0, 100], got {percent}")
     nblocks = len(sorted_pairs)
-    count = int(round(nblocks * percent / 100.0))
+    count = int(math.floor(nblocks * percent / 100.0 + 0.5))
     count = min(count, nblocks)
     return {block_id for block_id, _ in sorted_pairs[:count]}
 

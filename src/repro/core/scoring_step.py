@@ -6,7 +6,7 @@ per-point cost times the rank's point count, and the step ends at the global
 sort (a collective), so the slowest rank determines the step's contribution to
 the iteration time.
 
-Two implementations of the same contract are provided:
+Three implementations of the same contract are provided:
 
 * :class:`ScoringStep` — routes every rank's blocks through
   ``metric.score_blocks`` (a per-block loop by default, but user metrics that
@@ -15,16 +15,21 @@ Two implementations of the same contract are provided:
   shape-homogeneous ``(nblocks, sx, sy, sz)`` arrays (the
   :class:`~repro.grid.batch.BlockBatch` data layout) and scores each group
   with one ``metric.score_batch`` call.  Metrics without a vectorised
-  ``score_batch`` (the coder-based FPZIP/ZFP/LZ/LEA scorers) transparently
-  fall back to the per-block path.
+  ``score_batch`` transparently fall back to the per-block path;
+* :class:`ParallelScoringStep` — same grouping, but the groups (split into
+  chunks) are fanned out over a ``concurrent.futures`` thread pool, so even
+  metrics whose scoring is inherently per-block (user-supplied scalar
+  metrics) scale with cores.
 
-Both produce bitwise-identical scores, so the execution engine can pick either
-backend without perturbing any downstream decision.
+All three produce bitwise-identical scores, so the execution engine can pick
+any backend without perturbing any downstream decision.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -155,6 +160,14 @@ class VectorizedScoringStep(ScoringStep):
         self, per_rank_blocks: Sequence[Sequence[Block]]
     ) -> Tuple[List[List[ScorePair]], List[List[Block]], Dict[str, object]]:
         """Score every rank's blocks in one cross-rank vectorised pass."""
+        if not self.metric.supports_batch and (
+            type(self.metric).score_blocks is not ScoreMetric.score_blocks
+        ):
+            # A metric that overrides score_blocks may apply cross-block
+            # logic (e.g. normalisation over one rank's list); the cross-rank
+            # pass would change the lists it sees.  Use the per-rank
+            # reference path so every backend scores identically.
+            return ScoringStep.run(self, per_rank_blocks)
         all_blocks: List[Block] = []
         rank_slices: List[Tuple[int, int]] = []
         for blocks in per_rank_blocks:
@@ -199,3 +212,100 @@ class VectorizedScoringStep(ScoringStep):
             "modelled_max": max(modelled) if modelled else 0.0,
         }
         return per_rank_pairs, scored_blocks, info
+
+
+class ParallelScoringStep(VectorizedScoringStep):
+    """Scores block groups concurrently on a ``concurrent.futures`` pool.
+
+    The cross-rank pass of :class:`VectorizedScoringStep` is kept, but the
+    work is fanned out over a thread pool:
+
+    * metrics with a true ``score_batch`` have their per-shape groups split
+      into chunks, each chunk stacked and scored by one worker (safe by the
+      ``score_batch`` contract: batched scores are bitwise identical to
+      per-block scores, hence independent of the chunking);
+    * per-block metrics have their block list chunked directly and each chunk
+      scored block by block — this is the backend's reason to exist: a
+      user-supplied scalar metric scales with cores without writing any
+      vectorised code.  NumPy-heavy scorers release the GIL for most of
+      their work, so threads (which share the block payloads for free)
+      outperform a process pool and its pickling of every payload.
+
+    A metric that overrides ``score_blocks`` may apply cross-block logic
+    (e.g. normalisation over the whole list), which chunking would silently
+    change; such metrics are detected and routed through one unchunked
+    ``score_blocks`` call, trading parallelism for correctness.
+
+    Scores are scattered back by block position, so the output — like the
+    other backends' — is deterministic and bitwise identical to
+    :class:`ScoringStep`'s.
+    """
+
+    name = "scoring"
+
+    def __init__(
+        self,
+        metric: ScoreMetric,
+        platform: PlatformModel,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        super().__init__(metric, platform)
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = int(max_workers or min(16, os.cpu_count() or 1))
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    @property
+    def pool(self) -> ThreadPoolExecutor:
+        """The step's worker pool, created on first use and reused across
+        iterations (the step lives as long as its engine)."""
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers,
+                thread_name_prefix="scoring-worker",
+            )
+        return self._pool
+
+    def _chunks(self, indices: List[int]) -> List[List[int]]:
+        """Split ``indices`` into at most ``2 * max_workers`` contiguous chunks."""
+        nchunks = min(len(indices), 2 * self.max_workers)
+        bounds = np.linspace(0, len(indices), nchunks + 1).astype(int)
+        return [
+            indices[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo
+        ]
+
+    def _score_rank(self, blocks: Sequence[Block]) -> List[float]:
+        if not blocks:
+            return []
+        overridden = type(self.metric).score_blocks is not ScoreMetric.score_blocks
+        if not self.metric.supports_batch and overridden:
+            # Cross-block semantics: one call, no chunking (see class docs).
+            return super()._score_rank(blocks)
+        scores = np.empty(len(blocks), dtype=np.float64)
+
+        if self.metric.supports_batch:
+            groups: Dict[Tuple[Tuple[int, ...], np.dtype], List[int]] = {}
+            for position, block in enumerate(blocks):
+                key = (block.data.shape, block.data.dtype)
+                groups.setdefault(key, []).append(position)
+            chunks = [
+                chunk for indices in groups.values() for chunk in self._chunks(indices)
+            ]
+
+            def score_chunk(chunk: List[int]) -> np.ndarray:
+                return self.metric.score_batch(
+                    np.stack([blocks[i].data for i in chunk])
+                )
+
+        else:
+            chunks = self._chunks(list(range(len(blocks))))
+
+            def score_chunk(chunk: List[int]) -> np.ndarray:
+                return np.array(
+                    [self.metric.score_block(blocks[i].data) for i in chunk],
+                    dtype=np.float64,
+                )
+
+        for chunk, chunk_scores in zip(chunks, self.pool.map(score_chunk, chunks)):
+            scores[chunk] = np.asarray(chunk_scores, dtype=np.float64)
+        return [float(s) for s in scores]

@@ -303,7 +303,8 @@ class ExperimentScenario:
     ) -> InSituPipeline:
         """Build a pipeline wired to this scenario's platform and rank count.
 
-        ``engine`` selects the execution backend ("serial" or "vectorized");
+        ``engine`` selects the execution backend ("serial", "vectorized",
+        or "parallel");
         the default follows :class:`PipelineConfig` (vectorized).
         """
         config = PipelineConfig(

@@ -42,9 +42,12 @@ class ScoreMetric(abc.ABC):
     name: str = "METRIC"
     #: Modelled evaluation cost (Blue Waters seconds); see :class:`MetricCost`.
     cost: MetricCost = MetricCost(per_point=5.0e-8)
-    #: Whether :meth:`score_batch` is a true vectorised implementation
-    #: (False means it falls back to a per-block loop — the coder-based
-    #: metrics do, their per-block state machines don't batch).
+    #: Whether :meth:`score_batch` is a true vectorised implementation, i.e.
+    #: stacking blocks into a batch buys real work sharing (False means it
+    #: falls back to a per-block loop, so engines skip the stacking copies).
+    #: All built-in metrics except LOCAL_ENTROPY provide one — including the
+    #: coder-based FPZIP/ZFP/LZ/LEA scorers, whose batched paths compute
+    #: encoded sizes for the whole batch in one pass.
     supports_batch: bool = False
 
     @abc.abstractmethod

@@ -14,6 +14,7 @@ large-scale experiments use the driver-side
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional
 
@@ -44,15 +45,33 @@ class SPMDError(RuntimeError):
 
 
 class SimRuntime:
-    """Runs SPMD functions over ``nranks`` virtual ranks (one thread each)."""
+    """Runs SPMD functions over ``nranks`` virtual ranks (one thread each).
 
-    def __init__(self, nranks: int, timeout: float = 60.0) -> None:
+    Parameters
+    ----------
+    nranks:
+        Number of virtual ranks.
+    timeout:
+        Per-collective timeout handed to every rank's communicator.
+    join_grace:
+        Extra seconds granted beyond ``timeout`` for the whole run to wind
+        down before hung ranks are reported.  The grace is shared by all
+        ranks (one absolute deadline), so a run with N hung ranks still
+        fails after ``timeout + join_grace`` seconds, not N times that.
+    """
+
+    def __init__(
+        self, nranks: int, timeout: float = 60.0, join_grace: float = 5.0
+    ) -> None:
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
         if timeout <= 0:
             raise ValueError(f"timeout must be > 0, got {timeout}")
+        if join_grace < 0:
+            raise ValueError(f"join_grace must be >= 0, got {join_grace}")
         self.nranks = int(nranks)
         self.timeout = float(timeout)
+        self.join_grace = float(join_grace)
 
     def run(self, func: Callable[..., Any], *args: Any, **kwargs: Any) -> List[Any]:
         """Execute ``func(comm, *args, **kwargs)`` on every rank.
@@ -77,8 +96,12 @@ class SimRuntime:
         ]
         for t in threads:
             t.start()
+        # One absolute deadline shared by every join: each thread only waits
+        # for the time remaining, so N hung ranks cost timeout + grace once —
+        # not N separate full timeouts.
+        deadline = time.monotonic() + self.timeout + self.join_grace
         for t in threads:
-            t.join(timeout=self.timeout + 5.0)
+            t.join(timeout=max(0.0, deadline - time.monotonic()))
         hung = [t for t in threads if t.is_alive()]
         if hung:
             raise SPMDError(

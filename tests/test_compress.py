@@ -16,12 +16,19 @@ from repro.compress.bitplane import (
     zigzag_encode,
 )
 from repro.compress.fpzip_like import FpzipLikeCompressor
-from repro.compress.lz_like import LzLikeCompressor, lz77_compress, lz77_decompress
+from repro.compress.lz_like import (
+    LzLikeCompressor,
+    _hash4,
+    _hash_all,
+    lz77_compress,
+    lz77_decompress,
+)
 from repro.compress.predictors import (
     delta_reconstruct,
     delta_residuals,
     lorenzo_reconstruct,
     lorenzo_residuals,
+    lorenzo_residuals_batch,
 )
 from repro.compress.zfp_like import ZfpLikeCompressor
 
@@ -244,3 +251,86 @@ class TestLzLikeCompressor:
     def test_invalid_sample_limit(self):
         with pytest.raises(ValueError):
             LzLikeCompressor(sample_limit=2)
+
+
+class TestHashAll:
+    @settings(deadline=None, max_examples=30)
+    @given(st.binary(min_size=0, max_size=300))
+    def test_matches_scalar_hash(self, data):
+        hashes = _hash_all(data)
+        assert len(hashes) == max(0, len(data) - 3)
+        assert hashes == [_hash4(data, p) for p in range(len(hashes))]
+
+
+def _batch_blocks(dtype, shape=(6, 5, 4), nblocks=7, seed=11):
+    """A mix of turbulent, smooth, and constant blocks (stackable)."""
+    rng = np.random.default_rng(seed)
+    blocks = [
+        rng.uniform(-60.0, 80.0, size=shape).astype(dtype)
+        for _ in range(nblocks - 2)
+    ]
+    ramp = np.add.outer(
+        np.add.outer(np.linspace(0.0, 1.0, shape[0]), np.linspace(0.0, 2.0, shape[1])),
+        np.linspace(0.0, 0.5, shape[2]),
+    )
+    blocks.append(ramp.astype(dtype))
+    blocks.append(np.full(shape, 2.5, dtype=dtype))
+    return blocks
+
+
+@pytest.mark.parametrize("dtype", [np.float16, np.float32, np.float64])
+@pytest.mark.parametrize(
+    "make",
+    [FpzipLikeCompressor, ZfpLikeCompressor, LzLikeCompressor],
+    ids=["fpzip", "zfp", "lz"],
+)
+class TestCompressedSizeBatch:
+    """The vectorised size path must agree with per-block compress exactly."""
+
+    def test_sizes_match_per_block_compress(self, make, dtype):
+        comp = make()
+        blocks = _batch_blocks(dtype)
+        sizes = comp.compressed_size_batch(np.stack(blocks))
+        expected = [comp.compress(b).compressed_nbytes for b in blocks]
+        assert sizes.tolist() == expected
+
+    def test_empty_batch(self, make, dtype):
+        comp = make()
+        sizes = comp.compressed_size_batch(np.zeros((0, 4, 4, 4), dtype=dtype))
+        assert sizes.shape == (0,)
+
+    def test_non_contiguous_batch(self, make, dtype):
+        comp = make()
+        rng = np.random.default_rng(4)
+        field = rng.uniform(-60.0, 80.0, size=(5, 12, 10, 8)).astype(dtype)
+        batch = field[:, 2:8, 1:6, ::2]  # strided view
+        sizes = comp.compressed_size_batch(batch)
+        expected = [comp.compress(batch[i]).compressed_nbytes for i in range(5)]
+        assert sizes.tolist() == expected
+
+    def test_non_finite_rejected(self, make, dtype):
+        comp = make()
+        batch = np.zeros((2, 4, 4, 4), dtype=dtype)
+        batch[1, 0, 0, 0] = np.nan
+        with pytest.raises(ValueError):
+            comp.compressed_size_batch(batch)
+
+    def test_wrong_ndim_rejected(self, make, dtype):
+        with pytest.raises(ValueError):
+            make().compressed_size_batch(np.zeros((4, 4, 4), dtype=dtype))
+
+
+class TestLorenzoBatch:
+    @pytest.mark.parametrize("utype", [np.uint32, np.uint64])
+    def test_matches_scalar_blocks(self, utype):
+        rng = np.random.default_rng(8)
+        batch = rng.integers(0, 2**31, size=(6, 5, 4, 3)).astype(utype)
+        batched = lorenzo_residuals_batch(batch)
+        for i in range(batch.shape[0]):
+            np.testing.assert_array_equal(batched[i], lorenzo_residuals(batch[i]))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            lorenzo_residuals_batch(np.zeros((4, 4, 4), dtype=np.uint32))
+        with pytest.raises(ValueError):
+            lorenzo_residuals_batch(np.zeros((2, 4, 4, 4), dtype=np.int32))

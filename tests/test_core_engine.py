@@ -2,11 +2,16 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.core.config import AdaptationConfig, PipelineConfig
 from repro.core.engine import ENGINE_BACKENDS, ExecutionEngine
-from repro.core.scoring_step import ScoringStep, VectorizedScoringStep
+from repro.core.scoring_step import (
+    ParallelScoringStep,
+    ScoringStep,
+    VectorizedScoringStep,
+)
 from repro.core.step import IterationContext, PipelineStep, StepReport
 from repro.perfmodel.platform import PlatformModel
 
@@ -61,10 +66,13 @@ class TestEngineConstruction:
         platform = PlatformModel.blue_waters(4)
         serial = ExecutionEngine(PipelineConfig(engine="serial"), platform)
         vector = ExecutionEngine(PipelineConfig(engine="vectorized"), platform)
+        par = ExecutionEngine(PipelineConfig(engine="parallel"), platform)
         assert type(serial.scoring) is ScoringStep
         assert type(vector.scoring) is VectorizedScoringStep
+        assert type(par.scoring) is ParallelScoringStep
         assert serial.backend == "serial"
         assert vector.backend == "vectorized"
+        assert par.backend == "parallel"
 
     def test_steps_satisfy_protocol(self):
         engine = ExecutionEngine(PipelineConfig(), PlatformModel.blue_waters(4))
@@ -79,7 +87,7 @@ class TestEngineConstruction:
             assert isinstance(step, PipelineStep)
 
     def test_backends_constant(self):
-        assert ENGINE_BACKENDS == ("serial", "vectorized")
+        assert ENGINE_BACKENDS == ("serial", "vectorized", "parallel")
 
 
 class TestEngineExecution:
@@ -122,10 +130,10 @@ class TestEngineExecution:
             engine.run_iteration(tiny_scenario.blocks_for(0), 120.0, 0)
 
 
-@pytest.mark.parametrize("metric", ["VAR", "ITL", "TRILIN", "LEA"])
+@pytest.mark.parametrize("metric", ["VAR", "ITL", "TRILIN", "LEA", "FPZIP"])
 @pytest.mark.parametrize("redistribution", ["none", "round_robin"])
 class TestBackendParity:
-    """Serial and vectorized backends must be indistinguishable downstream."""
+    """All three backends must be indistinguishable downstream."""
 
     def _trace(self, scenario, metric, redistribution, engine):
         pipeline = scenario.build_pipeline(
@@ -153,12 +161,14 @@ class TestBackendParity:
     def test_identical_trajectories(self, tiny_scenario, metric, redistribution):
         serial = self._trace(tiny_scenario, metric, redistribution, "serial")
         vector = self._trace(tiny_scenario, metric, redistribution, "vectorized")
+        par = self._trace(tiny_scenario, metric, redistribution, "parallel")
         assert serial == vector
+        assert serial == par
 
     def test_identical_scores_and_ids(self, tiny_scenario, metric, redistribution):
         blocks = tiny_scenario.blocks_for(0)
         traces = {}
-        for engine in ("serial", "vectorized"):
+        for engine in ("serial", "vectorized", "parallel"):
             pipeline = tiny_scenario.build_pipeline(
                 metric=metric, redistribution=redistribution, engine=engine
             )
@@ -172,6 +182,69 @@ class TestBackendParity:
                 ],
             )
         assert traces["serial"] == traces["vectorized"]
+        assert traces["serial"] == traces["parallel"]
+
+
+class TestParallelScoringStep:
+    """The parallel backend's chunking must never perturb scores."""
+
+    def test_scalar_metric_chunked_identically(self, tiny_scenario):
+        from repro.metrics.base import ScoreMetric
+
+        class Spiky(ScoreMetric):
+            """A user-style scalar metric with no batch implementation."""
+
+            name = "SPIKY"
+
+            def score_block(self, data):
+                return float(np.abs(np.asarray(data)).max())
+
+        blocks = tiny_scenario.blocks_for(0)
+        serial = ScoringStep(Spiky(), tiny_scenario.platform)
+        par = ParallelScoringStep(Spiky(), tiny_scenario.platform, max_workers=3)
+        assert serial.run(blocks)[0] == par.run(blocks)[0]
+
+    def test_score_blocks_override_not_chunked(self, tiny_scenario):
+        from repro.metrics.base import ScoreMetric
+
+        class RankNormalized(ScoreMetric):
+            """Cross-block semantics: chunking would change the peak."""
+
+            name = "RANKNORM"
+
+            def score_block(self, data):
+                return float(np.ptp(np.asarray(data)))
+
+            def score_blocks(self, blocks):
+                raw = [self.score_block(b) for b in blocks]
+                peak = max(raw) or 1.0
+                return [r / peak for r in raw]
+
+        blocks = tiny_scenario.blocks_for(0)
+        serial = ScoringStep(RankNormalized(), tiny_scenario.platform)
+        par = ParallelScoringStep(
+            RankNormalized(), tiny_scenario.platform, max_workers=3
+        )
+        assert serial.run(blocks)[0] == par.run(blocks)[0]
+
+    def test_batch_metric_chunked_identically(self, tiny_scenario):
+        from repro.metrics.registry import create_metric
+
+        blocks = tiny_scenario.blocks_for(0)
+        # max_workers=2 forces several chunks per shape group.
+        serial = ScoringStep(create_metric("FPZIP"), tiny_scenario.platform)
+        par = ParallelScoringStep(
+            create_metric("FPZIP"), tiny_scenario.platform, max_workers=2
+        )
+        assert serial.run(blocks)[0] == par.run(blocks)[0]
+
+    def test_max_workers_validated(self, tiny_scenario):
+        from repro.metrics.registry import create_metric
+
+        with pytest.raises(ValueError):
+            ParallelScoringStep(
+                create_metric("VAR"), tiny_scenario.platform, max_workers=0
+            )
 
 
 class TestMonitorStepReportQueries:

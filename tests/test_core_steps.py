@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -89,7 +91,25 @@ class TestReductionSelection:
         pairs = [(i, float(i % 7)) for i in range(nblocks)]
         pairs = sorted(pairs, key=lambda p: (p[1], p[0]))
         selected = select_blocks_to_reduce(pairs, percent)
-        assert len(selected) == min(nblocks, int(round(nblocks * percent / 100.0)))
+        expected = min(nblocks, math.floor(nblocks * percent / 100.0 + 0.5))
+        assert len(selected) == expected
+
+    def test_round_half_up_boundaries(self):
+        """Half-way counts round up for every parity (regression: Python's
+        round() does banker's rounding, so 5% of 10 blocks selected 0 blocks
+        while 5% of 30 selected 2)."""
+        def count(nblocks, percent):
+            pairs = [(i, float(i)) for i in range(nblocks)]
+            return len(select_blocks_to_reduce(pairs, percent))
+
+        assert count(10, 5.0) == 1   # 0.5 -> 1 (banker's round gave 0)
+        assert count(30, 5.0) == 2   # 1.5 -> 2
+        assert count(10, 25.0) == 3  # 2.5 -> 3 (banker's round gave 2)
+        assert count(10, 35.0) == 4  # 3.5 -> 4
+        assert count(10, 45.0) == 5  # 4.5 -> 5 (banker's round gave 4)
+        # Non-boundary values are unaffected.
+        assert count(10, 24.0) == 2
+        assert count(10, 26.0) == 3
 
     def test_reduction_step_reduces_selected(self, per_rank_blocks):
         all_pairs = sorted(

@@ -17,8 +17,10 @@ import pytest
 from repro.metrics.registry import default_registry
 from repro.utils.histogram import fixed_range_histogram, fixed_range_histogram_batch
 
-#: Metrics expected to provide a true vectorised score_batch.
-VECTORIZED = {"RANGE", "VAR", "STD", "ITL", "TRILIN"}
+#: Metrics expected to provide a true vectorised score_batch (every built-in
+#: metric except LOCAL_ENTROPY, including the coder-based scorers whose
+#: batched paths compute encoded sizes for the whole stack in one pass).
+VECTORIZED = {"RANGE", "VAR", "STD", "ITL", "TRILIN", "LEA", "FPZIP", "ZFP", "LZ"}
 
 
 def random_blocks(dtype, shape=(7, 6, 5), nblocks=12, seed=99):
@@ -96,12 +98,25 @@ class TestCustomMetricOverrides:
     def test_array_like_batch_accepted(self):
         # _prepare_batch accepts anything np.asarray can make 4-D, including
         # nested lists; the vectorised implementations must not assume .shape.
-        for name in ("RANGE", "VAR", "STD", "ITL", "TRILIN"):
+        for name in sorted(VECTORIZED):
             metric = default_registry().create(name)
             blocks = random_blocks(np.float64, shape=(3, 3, 2), nblocks=2)
             nested = [b.tolist() for b in blocks]
             expected = [metric.score_block(b) for b in blocks]
             assert np.asarray(metric.score_batch(nested)).tolist() == expected
+
+
+class TestFloat16Parity:
+    def test_coder_metrics_score_float16_identically(self):
+        """The compressors promote float16 to float64 before encoding; the
+        batched path must divide by the same promoted size as the scalar
+        path (regression: it used to divide by the un-promoted nbytes)."""
+        for name in ("FPZIP", "ZFP", "LZ", "LEA"):
+            metric = default_registry().create(name)
+            blocks = random_blocks(np.float16, nblocks=4)
+            scalar = [metric.score_block(b) for b in blocks]
+            batched = metric.score_batch(np.stack(blocks))
+            assert np.asarray(batched, dtype=np.float64).tolist() == scalar, name
 
 
 class TestNanHandling:

@@ -271,6 +271,39 @@ class TestSimRuntimeSPMD:
     def test_single_rank(self):
         assert SimRuntime(1).run(lambda comm: comm.allreduce(5)) == [5]
 
+    def test_hung_ranks_share_one_join_deadline(self):
+        """N hung ranks fail after ~(timeout + grace), not N times that
+        (regression: each join used to wait its own full timeout)."""
+        import threading
+        import time
+
+        hang = threading.Event()  # released at the end of the test
+
+        def program(comm):
+            if comm.Get_rank() > 0:
+                hang.wait()
+            return comm.Get_rank()
+
+        runtime = SimRuntime(4, timeout=0.3, join_grace=0.2)
+        start = time.monotonic()
+        try:
+            with pytest.raises(SPMDError) as excinfo:
+                runtime.run(program)
+            elapsed = time.monotonic() - start
+            # The old per-thread accumulation took >= 3 * (timeout + grace).
+            assert elapsed < 2 * (runtime.timeout + runtime.join_grace)
+            assert {f.rank for f in excinfo.value.failures} == {1, 2, 3}
+            assert all(
+                isinstance(f.exception, TimeoutError)
+                for f in excinfo.value.failures
+            )
+        finally:
+            hang.set()
+
+    def test_join_grace_validated(self):
+        with pytest.raises(ValueError):
+            SimRuntime(2, join_grace=-1.0)
+
 
 class TestParallelSort:
     def test_gather_sort_broadcast_matches_sequential(self):
