@@ -30,7 +30,11 @@ step reports.
 from repro.core.config import PipelineConfig, AdaptationConfig
 from repro.core.adaptation import adapt_percent, AdaptationController
 from repro.core.step import IterationContext, PipelineStep, StepReport
-from repro.core.scoring_step import ScoringStep, VectorizedScoringStep
+from repro.core.scoring_step import (
+    ParallelScoringStep,
+    ScoringStep,
+    VectorizedScoringStep,
+)
 from repro.core.sorting_step import SortingStep
 from repro.core.reduction_step import ReductionStep, select_blocks_to_reduce
 from repro.core.redistribution import (
@@ -41,7 +45,11 @@ from repro.core.redistribution import (
     RoundRobin,
     make_strategy,
 )
-from repro.core.rendering_step import RenderingStep
+from repro.core.rendering_step import (
+    ParallelRenderingStep,
+    RenderingStep,
+    VectorizedRenderingStep,
+)
 from repro.core.engine import ENGINE_BACKENDS, ExecutionEngine
 from repro.core.monitor import PerformanceMonitor
 from repro.core.results import IterationResult, PipelineRunResult
@@ -57,6 +65,7 @@ __all__ = [
     "StepReport",
     "ScoringStep",
     "VectorizedScoringStep",
+    "ParallelScoringStep",
     "SortingStep",
     "ReductionStep",
     "select_blocks_to_reduce",
@@ -67,6 +76,8 @@ __all__ = [
     "RoundRobin",
     "make_strategy",
     "RenderingStep",
+    "VectorizedRenderingStep",
+    "ParallelRenderingStep",
     "ENGINE_BACKENDS",
     "ExecutionEngine",
     "PerformanceMonitor",

@@ -77,13 +77,16 @@ class PipelineConfig:
         pure-software runs without the platform model).
     engine:
         Execution backend of the step sequence: ``"vectorized"`` (default)
-        scores each rank's blocks as stacked
-        :class:`~repro.grid.batch.BlockBatch` arrays; ``"serial"`` iterates
-        blocks one at a time; ``"parallel"`` additionally fans the per-shape
-        block groups out over a ``concurrent.futures`` thread pool, which is
-        how metrics whose scoring is inherently per-block (user-supplied
-        scalar metrics) scale with cores.  All backends produce identical
-        scores, reduction and redistribution decisions, and modelled timings;
+        runs the data-parallel steps — scoring *and* rendering — over stacked
+        :class:`~repro.grid.batch.BlockBatch` arrays (one ``score_batch``
+        call per shape group; one ``count_active_cells_batch`` call per shape
+        group in counting-mode rendering); ``"serial"`` iterates blocks one
+        at a time; ``"parallel"`` additionally fans the work out over
+        ``concurrent.futures`` thread pools (per-shape score chunks, whole
+        ranks for rendering), which is how metrics whose scoring is
+        inherently per-block (user-supplied scalar metrics) scale with cores.
+        All backends produce identical scores, reduction and redistribution
+        decisions, active-cell/triangle counts, and modelled timings;
         measured wall-clock naturally differs (the vectorized and parallel
         steps attribute one global pass proportionally to per-rank point
         counts), so runs driven by ``use_modelled_time=False`` are backend-

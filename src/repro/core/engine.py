@@ -7,20 +7,24 @@ data-parallel steps are implemented:
 
 * ``"serial"`` — every step iterates blocks one at a time (the reference
   implementation, and the behaviour of the original hard-wired pipeline);
-* ``"vectorized"`` — the scoring step stacks all ranks' block payloads into
-  shape-homogeneous arrays (the :class:`~repro.grid.batch.BlockBatch` data
-  layout) and scores them with one ``score_batch`` call per group;
-* ``"parallel"`` — the same grouping fanned out over a ``concurrent.futures``
-  thread pool, so metrics whose scoring is inherently per-block (e.g.
-  user-supplied scalar metrics) scale with cores too.
+* ``"vectorized"`` — the scoring *and rendering* steps stack block payloads
+  into shape-homogeneous arrays (the :class:`~repro.grid.batch.BlockBatch`
+  data layout): scoring runs one ``score_batch`` call per cross-rank shape
+  group, and counting-mode rendering runs one ``count_active_cells_batch``
+  call per per-rank shape group;
+* ``"parallel"`` — the same grouping fanned out over ``concurrent.futures``
+  thread pools: per-shape score chunks for batch metrics, chunked per-block
+  scoring for scalar user metrics, and whole ranks (per-shape mesh chunks in
+  mesh mode) for rendering.
 
 All backends produce bitwise-identical decisions and modelled results (ids,
-scores, reduction decisions, moved bytes, modelled seconds) — measured
-wall-clock is the one quantity that legitimately differs; the vectorised
-backend is simply faster, because the per-block Python overhead of the hot
-scoring loop collapses into a handful of NumPy calls.  Later scaling work (async engines, sharded ranks, alternative
-accelerator backends) plugs in here by providing different step
-implementations for the same contract.
+scores, reduction decisions, moved bytes, active-cell and triangle counts,
+modelled seconds) — measured wall-clock is the one quantity that
+legitimately differs; the vectorised backend is simply faster, because the
+per-block Python overhead of the hot scoring and rendering loops collapses
+into a handful of NumPy calls.  Later scaling work (async engines, sharded
+ranks, alternative accelerator backends) plugs in here by providing
+different step implementations for the same contract.
 """
 
 from __future__ import annotations
@@ -30,7 +34,11 @@ from typing import List, Optional, Sequence
 from repro.core.config import ENGINE_BACKENDS, PipelineConfig
 from repro.core.redistribution import RedistributionStep, make_strategy
 from repro.core.reduction_step import ReductionStep
-from repro.core.rendering_step import RenderingStep
+from repro.core.rendering_step import (
+    ParallelRenderingStep,
+    RenderingStep,
+    VectorizedRenderingStep,
+)
 from repro.core.results import IterationResult
 from repro.core.scoring_step import (
     ParallelScoringStep,
@@ -100,7 +108,12 @@ class ExecutionEngine:
         self.reduction = ReductionStep()
         self.strategy = make_strategy(config.redistribution, seed=config.shuffle_seed)
         self.redistribution = RedistributionStep(self.strategy, self.comm)
-        self.rendering = RenderingStep(
+        rendering_cls = {
+            "serial": RenderingStep,
+            "vectorized": VectorizedRenderingStep,
+            "parallel": ParallelRenderingStep,
+        }[self.backend]
+        self.rendering = rendering_cls(
             platform,
             isosurface_level=config.isosurface_level,
             render_mode=config.render_mode,

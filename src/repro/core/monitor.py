@@ -19,12 +19,37 @@ from repro.utils.timer import StepTimings
 
 
 class PerformanceMonitor:
-    """Collects per-iteration step timings."""
+    """Collects per-iteration step timings.
 
+    The monitor accepts whatever step sequence the engine actually ran: the
+    series queries validate step names against the steps *recorded* in the
+    iteration results (falling back to the canonical :data:`STEPS` of the
+    paper's Figure 2 before anything is recorded), so custom steps plugged
+    into the composable engine are first-class citizens.
+    """
+
+    #: The canonical five data steps of the paper's Figure 2 (the default
+    #: step vocabulary before any iteration is recorded).
     STEPS = ("scoring", "sorting", "reduction", "redistribution", "rendering")
 
     def __init__(self) -> None:
         self._iterations: List[IterationResult] = []
+
+    def _known_steps(self) -> set:
+        """Step names recorded so far, plus the canonical defaults."""
+        known = set(self.STEPS)
+        for result in self._iterations:
+            known.update(result.step_reports)
+            known.update(result.modelled_steps)
+            known.update(result.measured_steps)
+        return known
+
+    def _check_step(self, step: str) -> None:
+        known = self._known_steps()
+        if step not in known:
+            raise ValueError(
+                f"unknown step {step!r}; expected one of {tuple(sorted(known))}"
+            )
 
     # -- recording --------------------------------------------------------------
 
@@ -62,8 +87,7 @@ class PerformanceMonitor:
 
     def step_series(self, step: str, modelled: bool = True) -> List[float]:
         """Per-iteration seconds of one step."""
-        if step not in self.STEPS:
-            raise ValueError(f"unknown step {step!r}; expected one of {self.STEPS}")
+        self._check_step(step)
         if modelled:
             return [r.modelled_steps.get(step, 0.0) for r in self._iterations]
         return [r.measured_steps.get(step, 0.0) for r in self._iterations]
@@ -91,8 +115,7 @@ class PerformanceMonitor:
         Iterations recorded without step reports (hand-built results) count
         as 0 bytes.
         """
-        if step not in self.STEPS:
-            raise ValueError(f"unknown step {step!r}; expected one of {self.STEPS}")
+        self._check_step(step)
         return [
             float(r.step_reports[step].payload_bytes) if step in r.step_reports else 0.0
             for r in self._iterations
@@ -100,8 +123,7 @@ class PerformanceMonitor:
 
     def counter_series(self, step: str, counter: str) -> List[float]:
         """Per-iteration value of one step counter (0.0 where absent)."""
-        if step not in self.STEPS:
-            raise ValueError(f"unknown step {step!r}; expected one of {self.STEPS}")
+        self._check_step(step)
         return [
             float(r.step_reports[step].counters.get(counter, 0.0))
             if step in r.step_reports

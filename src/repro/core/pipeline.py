@@ -7,8 +7,9 @@ iteration), which is how the simulation — or the dataset replayer standing in
 for it — hands data to the in situ layer.
 
 The five data steps live in an :class:`~repro.core.engine.ExecutionEngine`
-(selected by ``PipelineConfig.engine``: serial, vectorized, or parallel); the pipeline
-adds the adaptation controller and the performance monitor on top.
+(selected by ``PipelineConfig.engine``: serial, vectorized, or parallel —
+the backend picks both the scoring and the rendering implementation); the
+pipeline adds the adaptation controller and the performance monitor on top.
 """
 
 from __future__ import annotations

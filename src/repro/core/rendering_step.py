@@ -5,16 +5,41 @@ step's modelled time is the *maximum* of the per-rank modelled rendering
 times (the rendering ends with a synchronous composition, so the slowest
 process drives the total — the load-imbalance effect the redistribution step
 attacks).
+
+Like the scoring step, the rendering step comes in three implementations of
+one contract, selected by ``PipelineConfig.engine``:
+
+* :class:`RenderingStep` — the reference loop: every rank's blocks go through
+  ``IsosurfaceScript.process`` one block at a time;
+* :class:`VectorizedRenderingStep` — counting mode groups each rank's blocks
+  by payload shape (the :class:`~repro.grid.batch.BlockBatch` layout; all
+  reduced 2×2×2 blocks form one stacked group) and counts every group with a
+  single vectorised ``count_active_cells_batch`` pass.  Mesh mode extracts
+  real geometry, which cannot be stacked, and falls back to the reference
+  per-block extraction;
+* :class:`ParallelRenderingStep` — the vectorised per-rank batch path fanned
+  out over a ``concurrent.futures`` thread pool across ranks; in mesh mode
+  the work items are per-shape block chunks, reassembled in block order.
+
+All backends produce identical counts, triangle estimates, and modelled
+seconds — measured wall-clock is the one quantity that legitimately differs.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.step import IterationContext, StepReport
+from repro.grid.batch import group_positions_by_shape
 from repro.grid.block import Block
 from repro.perfmodel.platform import PlatformModel
+from repro.utils.timer import Timer
 from repro.viz.catalyst import CatalystPipeline, IsosurfaceScript, RenderResult
+from repro.viz.mesh import TriangleMesh
 
 
 class RenderingStep:
@@ -37,6 +62,19 @@ class RenderingStep:
         )
         self.pipeline = CatalystPipeline([self.script])
 
+    # -- rendering backend ---------------------------------------------------
+
+    def _render_all(
+        self, per_rank_blocks: Sequence[Sequence[Block]], iteration: int
+    ) -> List[RenderResult]:
+        """One :class:`RenderResult` per rank (the backend hook)."""
+        return [
+            self.pipeline.coprocess(blocks, iteration)[0]
+            for blocks in per_rank_blocks
+        ]
+
+    # -- step execution ------------------------------------------------------
+
     def run(
         self, per_rank_blocks: Sequence[Sequence[Block]], iteration: int
     ) -> Tuple[List[RenderResult], Dict[str, object]]:
@@ -49,14 +87,11 @@ class RenderingStep:
             per-rank and maximum modelled rendering seconds, plus per-rank
             triangle counts (used for load-imbalance analyses).
         """
-        results: List[RenderResult] = []
+        results = self._render_all(per_rank_blocks, iteration)
         modelled: List[float] = []
         measured: List[float] = []
         triangles: List[int] = []
-        for blocks in per_rank_blocks:
-            outputs = self.pipeline.coprocess(blocks, iteration)
-            result = outputs[0]
-            results.append(result)
+        for blocks, result in zip(per_rank_blocks, results):
             measured.append(result.measured_seconds)
             triangles.append(result.ntriangles)
             modelled.append(
@@ -89,3 +124,170 @@ class RenderingStep:
                 "triangles": [float(t) for t in info["triangles_per_rank"]]
             },
         )
+
+
+class VectorizedRenderingStep(RenderingStep):
+    """Rendering through the script's shape-grouped batch path.
+
+    Counting mode — the cheap load proxy the large virtual-rank experiments
+    run — batches *across* ranks, exactly like the vectorised scoring step:
+    every block of the iteration is grouped by payload shape (the
+    :class:`~repro.grid.batch.BlockBatch` layout; all reduced 2×2×2 blocks
+    form one stacked group) and each group is counted with a single
+    ``count_active_cells_batch`` pass, so the whole iteration costs a
+    handful of NumPy calls instead of one Python iteration per block.
+    Counts, triangle estimates, and modelled seconds are bitwise identical
+    to :class:`RenderingStep`'s; only measured wall-clock differs, and the
+    single pass's elapsed time is attributed to ranks proportionally to
+    their payload point counts (the convention the scoring step set).  Mesh
+    mode extracts per-block geometry, which cannot be stacked, and is
+    identical to the reference loop.
+    """
+
+    def _render_all(
+        self, per_rank_blocks: Sequence[Sequence[Block]], iteration: int
+    ) -> List[RenderResult]:
+        if self.script.mode != "count":
+            return [
+                self.script.process_batch(blocks, iteration)
+                for blocks in per_rank_blocks
+            ]
+        all_blocks: List[Block] = []
+        rank_slices: List[Tuple[int, int]] = []
+        for blocks in per_rank_blocks:
+            rank_slices.append((len(all_blocks), len(all_blocks) + len(blocks)))
+            all_blocks.extend(blocks)
+        results: List[RenderResult] = []
+        with Timer() as timer:
+            counts = self.script.count_blocks_batched(all_blocks)
+            for (lo, hi), blocks in zip(rank_slices, per_rank_blocks):
+                result = RenderResult(
+                    script_name=self.script.name, iteration=iteration
+                )
+                for block, cells in zip(blocks, counts[lo:hi]):
+                    result.npoints += int(block.data.size)
+                    self.script.record_count(result, block.block_id, cells)
+                results.append(result)
+        elapsed = timer.elapsed
+        total_points = sum(result.npoints for result in results)
+        for result in results:
+            result.measured_seconds = (
+                elapsed * (result.npoints / total_points) if total_points else 0.0
+            )
+        return results
+
+
+class ParallelRenderingStep(VectorizedRenderingStep):
+    """The batched rendering path fanned out over a thread pool.
+
+    Ranks are independent at the rendering step (the paper's synchronous
+    composition happens *after* the per-rank work this step prices), so the
+    pool maps whole ranks to workers:
+
+    * counting mode: one :meth:`IsosurfaceScript.process_batch` task per rank
+      (itself the vectorised per-shape-group pass);
+    * mesh mode: each rank's blocks are split into per-shape chunks, every
+      chunk's blocks are extracted by one task (a single detection pass per
+      block), and the per-block meshes are reassembled *in block order* — so
+      the merged per-rank mesh, the counts, and the optional rasterized image
+      are identical to the serial backend's.
+
+    NumPy-heavy extraction releases the GIL for most of its work, so threads
+    (which share the block payloads for free) beat a process pool and its
+    per-payload pickling — the same trade the parallel scoring step makes.
+    Per-rank ``measured_seconds`` are each task's own wall-clock (tasks run
+    concurrently, so their sum exceeds the step's elapsed time).
+    """
+
+    def __init__(
+        self,
+        platform: PlatformModel,
+        isosurface_level: float = 45.0,
+        render_mode: str = "count",
+        render_image: bool = False,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            platform,
+            isosurface_level=isosurface_level,
+            render_mode=render_mode,
+            render_image=render_image,
+        )
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = int(max_workers or min(16, os.cpu_count() or 1))
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    @property
+    def pool(self) -> ThreadPoolExecutor:
+        """The step's worker pool, created on first use and reused across
+        iterations (the step lives as long as its engine)."""
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers,
+                thread_name_prefix="rendering-worker",
+            )
+        return self._pool
+
+    def _render_all(
+        self, per_rank_blocks: Sequence[Sequence[Block]], iteration: int
+    ) -> List[RenderResult]:
+        if self.script.mode == "count":
+            return list(
+                self.pool.map(
+                    lambda blocks: self.script.process_batch(blocks, iteration),
+                    per_rank_blocks,
+                )
+            )
+        return self._render_all_mesh(per_rank_blocks, iteration)
+
+    # -- mesh mode: per-shape chunks across all ranks ------------------------
+
+    def _render_all_mesh(
+        self, per_rank_blocks: Sequence[Sequence[Block]], iteration: int
+    ) -> List[RenderResult]:
+        tasks: List[Tuple[int, List[int]]] = []
+        for rank, blocks in enumerate(per_rank_blocks):
+            tasks.extend(
+                (rank, positions)
+                for positions in group_positions_by_shape(blocks)
+            )
+
+        def extract_chunk(task: Tuple[int, List[int]]):
+            rank, positions = task
+            blocks = per_rank_blocks[rank]
+            with Timer() as timer:
+                extracted = [
+                    (pos, self.script.extract_block(blocks[pos]))
+                    for pos in positions
+                ]
+            return rank, extracted, timer.elapsed
+
+        per_rank_meshes: List[Dict[int, TriangleMesh]] = [
+            {} for _ in per_rank_blocks
+        ]
+        per_rank_cells: List[Dict[int, int]] = [{} for _ in per_rank_blocks]
+        elapsed: List[float] = [0.0 for _ in per_rank_blocks]
+        for rank, extracted, seconds in self.pool.map(extract_chunk, tasks):
+            elapsed[rank] += seconds
+            for pos, (mesh, cells) in extracted:
+                per_rank_meshes[rank][pos] = mesh
+                per_rank_cells[rank][pos] = cells
+
+        results: List[RenderResult] = []
+        for rank, blocks in enumerate(per_rank_blocks):
+            result = RenderResult(script_name=self.script.name, iteration=iteration)
+            meshes: List[TriangleMesh] = []
+            with Timer() as timer:
+                for pos, block in enumerate(blocks):
+                    result.npoints += int(block.data.size)
+                    mesh = per_rank_meshes[rank][pos]
+                    result.per_block_active_cells[block.block_id] = (
+                        per_rank_cells[rank][pos]
+                    )
+                    result.per_block_triangles[block.block_id] = mesh.ntriangles
+                    meshes.append(mesh)
+                self.script.finalize_mesh(result, meshes)
+            result.measured_seconds = elapsed[rank] + timer.elapsed
+            results.append(result)
+        return results

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.step import IterationContext, StepReport
+from repro.grid.batch import group_positions_by_shape
 from repro.grid.block import Block
 from repro.metrics.base import ScoreMetric
 from repro.perfmodel.platform import PlatformModel
@@ -146,12 +147,8 @@ class VectorizedScoringStep(ScoringStep):
             # Stacking buys nothing when score_batch would loop per block
             # anyway (coder-based metrics); skip the payload copies.
             return super()._score_rank(blocks)
-        groups: Dict[Tuple[Tuple[int, ...], np.dtype], List[int]] = {}
-        for position, block in enumerate(blocks):
-            key = (block.data.shape, block.data.dtype)
-            groups.setdefault(key, []).append(position)
         scores = np.empty(len(blocks), dtype=np.float64)
-        for indices in groups.values():
+        for indices in group_positions_by_shape(blocks):
             stacked = np.stack([blocks[i].data for i in indices])
             scores[indices] = self.metric.score_batch(stacked)
         return [float(s) for s in scores]
@@ -284,12 +281,10 @@ class ParallelScoringStep(VectorizedScoringStep):
         scores = np.empty(len(blocks), dtype=np.float64)
 
         if self.metric.supports_batch:
-            groups: Dict[Tuple[Tuple[int, ...], np.dtype], List[int]] = {}
-            for position, block in enumerate(blocks):
-                key = (block.data.shape, block.data.dtype)
-                groups.setdefault(key, []).append(position)
             chunks = [
-                chunk for indices in groups.values() for chunk in self._chunks(indices)
+                chunk
+                for indices in group_positions_by_shape(blocks)
+                for chunk in self._chunks(indices)
             ]
 
             def score_chunk(chunk: List[int]) -> np.ndarray:

@@ -15,7 +15,7 @@ in bulk (lossless ``from_blocks``/``to_blocks`` round-tripping).
 
 from repro.grid.rectilinear import RectilinearGrid
 from repro.grid.block import Block, BlockExtent
-from repro.grid.batch import BlockBatch, partition_by_shape
+from repro.grid.batch import BlockBatch, group_positions_by_shape, partition_by_shape
 from repro.grid.domain import Domain, Subdomain
 from repro.grid.decomposition import (
     CartesianDecomposition,
@@ -36,6 +36,7 @@ __all__ = [
     "Block",
     "BlockExtent",
     "BlockBatch",
+    "group_positions_by_shape",
     "partition_by_shape",
     "Domain",
     "Subdomain",

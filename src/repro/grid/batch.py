@@ -14,6 +14,15 @@ flags, scores, field names, payload values, and payload dtype).  Blocks of
 mixed shapes or dtypes cannot share one stacked array; use
 :func:`partition_by_shape` to split an arbitrary block list into homogeneous
 batches while remembering each block's original position.
+
+Both hot data-parallel steps consume this layout: the vectorised scoring
+step stacks cross-rank shape groups for ``metric.score_batch``, and the
+vectorised rendering path groups blocks by the same shape/dtype key before
+one ``count_active_cells_batch`` pass per stacked group (a post-reduction
+block list yields at most a handful of groups — typically the full-block
+shapes plus one 2×2×2 group holding every reduced block).  Both hot paths
+stack payloads only; :func:`partition_by_shape` additionally carries the
+metadata arrays for consumers that need a full :class:`BlockBatch`.
 """
 
 from __future__ import annotations
@@ -199,21 +208,32 @@ class BlockBatch:
         )
 
 
+def group_positions_by_shape(blocks: Sequence[Block]) -> List[List[int]]:
+    """Group block positions by payload shape *and* dtype.
+
+    This is the batching key every stacked hot path shares (vectorised
+    scoring, counting-mode rendering, mesh-mode chunking): blocks whose
+    payloads share one shape/dtype stack without promotion.  Returns one
+    position list per group, positions in input order; a typical
+    pre-reduction rank list yields exactly one group, and all reduced
+    2×2×2 blocks fall into one group.
+    """
+    groups: Dict[Tuple[Tuple[int, ...], np.dtype], List[int]] = {}
+    for position, block in enumerate(blocks):
+        key = (tuple(block.data.shape), block.data.dtype)
+        groups.setdefault(key, []).append(position)
+    return list(groups.values())
+
+
 def partition_by_shape(
     blocks: Sequence[Block],
 ) -> List[Tuple[List[int], BlockBatch]]:
     """Split ``blocks`` into homogeneous batches, keeping original positions.
 
     Returns ``(indices, batch)`` pairs where ``blocks[indices[i]]`` is row
-    ``i`` of ``batch``.  Blocks are grouped by payload shape *and* dtype so
-    every batch stacks without promotion; a typical pre-reduction rank list
-    yields exactly one group.
+    ``i`` of ``batch``; the grouping key is :func:`group_positions_by_shape`'s.
     """
-    groups: Dict[Tuple[Tuple[int, ...], np.dtype], List[int]] = {}
-    for position, block in enumerate(blocks):
-        key = (tuple(block.data.shape), block.data.dtype)
-        groups.setdefault(key, []).append(position)
     return [
         (indices, BlockBatch.from_blocks([blocks[i] for i in indices]))
-        for indices in groups.values()
+        for indices in group_positions_by_shape(blocks)
     ]

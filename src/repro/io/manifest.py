@@ -13,12 +13,20 @@ FORMAT_VERSION = 1
 
 @dataclass
 class IterationRecord:
-    """One stored iteration."""
+    """One stored iteration.
+
+    ``dtypes`` maps field names to NumPy dtype strings (``np.dtype.str``,
+    e.g. ``"<f8"``) as stored on disk, so a load reproduces each field's
+    dtype exactly.  Records written before dtypes were tracked leave the
+    mapping empty; such fields load with whatever dtype the ``.npz`` holds
+    (historically float32).
+    """
 
     iteration: int
     filename: str
     fields: List[str]
     nbytes: int = 0
+    dtypes: Dict[str, str] = field(default_factory=dict)
 
     def validate(self) -> None:
         """Basic consistency checks; raises ``ValueError`` on problems."""
@@ -28,6 +36,11 @@ class IterationRecord:
             raise ValueError("filename must not be empty")
         if not self.fields:
             raise ValueError("an iteration record must list at least one field")
+        unknown = set(self.dtypes) - set(self.fields)
+        if unknown:
+            raise ValueError(
+                f"dtypes recorded for unknown fields {sorted(unknown)}"
+            )
 
 
 @dataclass

@@ -42,7 +42,12 @@ class DatasetStore:
         self._manifest.save(self.root)
 
     def append(self, domain: Domain) -> IterationRecord:
-        """Append one iteration to the store and update the manifest."""
+        """Append one iteration to the store and update the manifest.
+
+        Fields are stored with their *own* dtype (recorded in the manifest),
+        so a float64 dataset round-trips bit-exactly instead of being
+        silently squeezed through float32.
+        """
         manifest = self.manifest()
         if tuple(domain.shape) != tuple(manifest.shape):
             raise ValueError(
@@ -52,13 +57,14 @@ class DatasetStore:
             raise ValueError("cannot store a domain with no fields")
         filename = f"iter_{domain.iteration:010d}.npz"
         path = self.root / filename
-        arrays = {name: np.asarray(arr, dtype=np.float32) for name, arr in domain.fields.items()}
+        arrays = {name: np.asarray(arr) for name, arr in domain.fields.items()}
         np.savez_compressed(path, **arrays)
         record = IterationRecord(
             iteration=domain.iteration,
             filename=filename,
             fields=sorted(arrays),
             nbytes=int(path.stat().st_size),
+            dtypes={name: arr.dtype.str for name, arr in arrays.items()},
         )
         manifest.add_iteration(record)
         manifest.save(self.root)
@@ -111,5 +117,9 @@ class DatasetStore:
         out: Dict[str, np.ndarray] = {}
         with np.load(self.root / record.filename) as data:
             for name in sorted(wanted):
-                out[name] = np.asarray(data[name])
+                arr = np.asarray(data[name])
+                stored_dtype = record.dtypes.get(name)
+                if stored_dtype is not None and arr.dtype != np.dtype(stored_dtype):
+                    arr = arr.astype(np.dtype(stored_dtype))
+                out[name] = arr
         return Domain(grid=grid, fields=out, iteration=iteration)

@@ -16,7 +16,12 @@ provides the equivalent building blocks in pure NumPy:
 """
 
 from repro.viz.mesh import TriangleMesh
-from repro.viz.marching_cubes import marching_cubes, count_active_cells
+from repro.viz.marching_cubes import (
+    marching_cubes,
+    extract_isosurface,
+    count_active_cells,
+    count_active_cells_batch,
+)
 from repro.viz.camera import Camera
 from repro.viz.framebuffer import Framebuffer
 from repro.viz.rasterizer import rasterize_mesh
@@ -33,7 +38,9 @@ from repro.viz.catalyst import (
 __all__ = [
     "TriangleMesh",
     "marching_cubes",
+    "extract_isosurface",
     "count_active_cells",
+    "count_active_cells_batch",
     "Camera",
     "Framebuffer",
     "rasterize_mesh",

@@ -19,17 +19,22 @@ counts, and optionally the extracted mesh / rendered image.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.grid.batch import group_positions_by_shape
 from repro.grid.block import Block
 from repro.grid.reduction import reconstruct_block
 from repro.utils.timer import Timer
 from repro.viz.camera import Camera
 from repro.viz.colormap import apply_colormap
 from repro.viz.framebuffer import Framebuffer
-from repro.viz.marching_cubes import count_active_cells, marching_cubes
+from repro.viz.marching_cubes import (
+    count_active_cells,
+    count_active_cells_batch,
+    extract_isosurface,
+)
 from repro.viz.mesh import TriangleMesh
 from repro.viz.rasterizer import rasterize_mesh
 
@@ -56,6 +61,10 @@ class RenderResult:
     mesh: Optional[TriangleMesh] = None
     #: Rendered image, if the script was asked to produce one.
     image: Optional[np.ndarray] = None
+    #: Boolean mask of the image pixels this rank actually covers (partial
+    #: images only, e.g. :class:`ColormapScript`); the compositing driver
+    #: must only take covered pixels from each rank.
+    coverage: Optional[np.ndarray] = None
     #: Wall-clock seconds spent in the script (measured, not modelled).
     measured_seconds: float = 0.0
 
@@ -116,47 +125,125 @@ class IsosurfaceScript(VisualizationScript):
         self.render_image = bool(render_image)
         self.image_size = (int(image_size[0]), int(image_size[1]))
 
+    # -- per-block helpers (shared by every rendering backend) ---------------
+
+    def block_coords(self, block: Block, data_shape: Sequence[int]) -> List[np.ndarray]:
+        """Per-axis global coordinates of one block's payload points.
+
+        A reduced block is fed to the pipeline as its 8 corner points spanning
+        the original extent (this is what makes the reduction save rendering
+        time); a full block is fed as-is.  The reduced high corner sits on the
+        last point *inside* the half-open extent, ``stop - 1`` (>= ``start``
+        for every valid extent): a length-1 axis yields a flat coordinate
+        pair whose degenerate geometry the extractor drops, instead of
+        shifting the isosurface outside the block's extent.
+        """
+        start, stop = block.extent.start, block.extent.stop
+        if block.reduced:
+            return [
+                np.array([start[axis], stop[axis] - 1], dtype=np.float64)
+                for axis in range(3)
+            ]
+        return [
+            np.arange(start[axis], start[axis] + data_shape[axis], dtype=np.float64)
+            for axis in range(3)
+        ]
+
+    def extract_block(self, block: Block) -> tuple:
+        """Extract one block's isosurface: ``(mesh, active_cells)``.
+
+        Geometry and cell count come from a single detection pass over the
+        payload (:func:`~repro.viz.marching_cubes.extract_isosurface`).
+        """
+        data = np.asarray(block.data, dtype=np.float64)
+        mesh, cells = extract_isosurface(
+            data, self.level, coords=self.block_coords(block, data.shape)
+        )
+        return mesh, int(cells)
+
+    def count_blocks_batched(self, blocks: Sequence[Block]) -> np.ndarray:
+        """Active-cell counts of ``blocks``, in block order, via stacked batches.
+
+        The blocks are grouped by payload shape/dtype — the
+        :class:`~repro.grid.batch.BlockBatch` grouping; all reduced 2×2×2
+        blocks form one stacked group — and each group's payloads are stacked
+        into one ``(nblocks, sx, sy, sz)`` array counted with a single
+        vectorised :func:`~repro.viz.marching_cubes.count_active_cells_batch`
+        pass.  Like the vectorised scoring step, the hot path stacks only the
+        payloads and skips the batch metadata arrays (use
+        :func:`~repro.grid.batch.partition_by_shape` when a full
+        :class:`~repro.grid.batch.BlockBatch` is needed).  Counts are bitwise
+        identical to per-block
+        :func:`~repro.viz.marching_cubes.count_active_cells` calls.
+        """
+        counts = np.zeros(len(blocks), dtype=np.int64)
+        for indices in group_positions_by_shape(blocks):
+            stacked = np.stack([blocks[i].data for i in indices])
+            counts[indices] = count_active_cells_batch(stacked, self.level)
+        return counts
+
+    def record_count(self, result: RenderResult, block_id: int, cells: int) -> None:
+        """Record one block's counting-mode load estimate."""
+        cells = int(cells)
+        result.per_block_active_cells[block_id] = cells
+        result.per_block_triangles[block_id] = int(
+            round(cells * TRIANGLES_PER_ACTIVE_CELL)
+        )
+
+    def finalize_mesh(self, result: RenderResult, meshes: Sequence[TriangleMesh]) -> None:
+        """Merge per-block meshes (in block order) and optionally rasterize."""
+        merged = TriangleMesh.merge(meshes)
+        result.mesh = merged
+        if self.render_image and not merged.is_empty:
+            lo, hi = merged.bounds()
+            camera = Camera.fit_bounds(lo, hi)
+            fb = Framebuffer(self.image_size[0], self.image_size[1])
+            rasterize_mesh(merged, camera, fb)
+            result.image = fb.to_uint8()
+
+    # -- entry points --------------------------------------------------------
+
     def process(self, blocks: Sequence[Block], iteration: int) -> RenderResult:
+        """Reference per-block loop (the serial rendering backend)."""
         result = RenderResult(script_name=self.name, iteration=iteration)
         meshes: List[TriangleMesh] = []
         with Timer() as timer:
             for block in blocks:
-                # A reduced block is fed to the pipeline as its 8 corner
-                # points spanning the original extent (this is what makes the
-                # reduction save rendering time); a full block is fed as-is.
-                data = np.asarray(block.data, dtype=np.float64)
                 result.npoints += int(block.data.size)
-                start, stop = block.extent.start, block.extent.stop
-                if block.reduced:
-                    coords = [
-                        np.array([start[axis], max(stop[axis] - 1, start[axis] + 1)], dtype=np.float64)
-                        for axis in range(3)
-                    ]
-                else:
-                    coords = [
-                        np.arange(start[axis], start[axis] + data.shape[axis], dtype=np.float64)
-                        for axis in range(3)
-                    ]
-                cells = count_active_cells(data, self.level)
                 if self.mode == "count":
-                    result.per_block_active_cells[block.block_id] = cells
-                    result.per_block_triangles[block.block_id] = int(
-                        round(cells * TRIANGLES_PER_ACTIVE_CELL)
+                    cells = count_active_cells(
+                        np.asarray(block.data, dtype=np.float64), self.level
                     )
+                    self.record_count(result, block.block_id, cells)
                     continue
-                mesh = marching_cubes(data, self.level, coords=coords)
+                mesh, cells = self.extract_block(block)
                 result.per_block_active_cells[block.block_id] = cells
                 result.per_block_triangles[block.block_id] = mesh.ntriangles
                 meshes.append(mesh)
             if self.mode == "mesh":
-                merged = TriangleMesh.merge(meshes)
-                result.mesh = merged
-                if self.render_image and not merged.is_empty:
-                    lo, hi = merged.bounds()
-                    camera = Camera.fit_bounds(lo, hi)
-                    fb = Framebuffer(self.image_size[0], self.image_size[1])
-                    rasterize_mesh(merged, camera, fb)
-                    result.image = fb.to_uint8()
+                self.finalize_mesh(result, meshes)
+        result.measured_seconds = timer.elapsed
+        return result
+
+    def process_batch(self, blocks: Sequence[Block], iteration: int) -> RenderResult:
+        """Batched counterpart of :meth:`process` (the vectorised backend).
+
+        Counting mode replaces the per-block Python loop with one
+        shape-grouped :meth:`count_blocks_batched` pass; every recorded count
+        and triangle estimate is bitwise identical to :meth:`process`'s.
+        Mesh mode extracts real per-block geometry, which cannot be stacked,
+        so it delegates to the reference loop (itself a single detection pass
+        per block).
+        """
+        if self.mode != "count":
+            return self.process(blocks, iteration)
+        result = RenderResult(script_name=self.name, iteration=iteration)
+        with Timer() as timer:
+            if blocks:
+                counts = self.count_blocks_batched(blocks)
+                for block, cells in zip(blocks, counts):
+                    result.npoints += int(block.data.size)
+                    self.record_count(result, block.block_id, cells)
         result.measured_seconds = timer.elapsed
         return result
 
@@ -165,7 +252,15 @@ class ColormapScript(VisualizationScript):
     """2-D colormap of one horizontal level of the rank's blocks.
 
     The script produces a partial image covering the rank's blocks; the
-    driver composites the per-rank images into the full-domain colormap.
+    driver composites the per-rank images into the full-domain colormap
+    (``RenderResult.coverage`` marks the pixels each rank owns).
+
+    Colormap bounds are part of the *global* contract: every rank must
+    normalise with the same ``vmin``/``vmax``, otherwise the composited image
+    is inconsistent across rank boundaries (the same physical value maps to
+    different colors on different ranks).  Pass both bounds at construction,
+    or call :meth:`fit_bounds` once with *all* ranks' blocks before
+    processing; :meth:`process` refuses to run with unset bounds.
     """
 
     name = "colormap"
@@ -190,22 +285,71 @@ class ColormapScript(VisualizationScript):
         self.vmin = vmin
         self.vmax = vmax
 
+    def _block_slab(self, block: Block) -> Optional[np.ndarray]:
+        """The block's 2-D slab at ``level_index``, or None if not covered."""
+        ext = block.extent
+        if not (ext.start[2] <= self.level_index < ext.stop[2]):
+            return None
+        data = reconstruct_block(block)
+        return data[:, :, self.level_index - ext.start[2]]
+
+    def fit_bounds(
+        self, per_rank_blocks: Sequence[Sequence[Block]]
+    ) -> Tuple[float, float]:
+        """Compute global colormap bounds from *all* ranks' blocks.
+
+        Scans every block's rendered slab at ``level_index`` and fills any
+        unset ``vmin``/``vmax`` with the global minimum/maximum (explicitly
+        passed bounds are kept).  This is the collective every compositing
+        driver must run once per colormap before the per-rank
+        :meth:`process` calls — the per-rank alternative (each rank
+        normalising with its own min/max) breaks the composited image at
+        rank boundaries.
+        """
+        lo, hi = np.inf, -np.inf
+        for blocks in per_rank_blocks:
+            for block in blocks:
+                slab = self._block_slab(block)
+                if slab is None:
+                    continue
+                lo = min(lo, float(slab.min()))
+                hi = max(hi, float(slab.max()))
+        if not (np.isfinite(lo) and np.isfinite(hi)):
+            raise ValueError(
+                f"no block covers level_index {self.level_index}; cannot fit "
+                "colormap bounds"
+            )
+        if self.vmin is None:
+            self.vmin = lo
+        if self.vmax is None:
+            self.vmax = hi
+        return float(self.vmin), float(self.vmax)
+
     def process(self, blocks: Sequence[Block], iteration: int) -> RenderResult:
+        if self.vmin is None or self.vmax is None:
+            raise RuntimeError(
+                "ColormapScript requires global colormap bounds: pass vmin/vmax "
+                "at construction or call fit_bounds(per_rank_blocks) over all "
+                "ranks' blocks first (per-rank normalisation would make the "
+                "composited colormap inconsistent across rank boundaries)"
+            )
         result = RenderResult(script_name=self.name, iteration=iteration)
         nx, ny, _ = self.global_shape
         image = np.full((nx, ny), np.nan, dtype=np.float64)
         with Timer() as timer:
             for block in blocks:
                 result.npoints += int(block.data.size)
-                ext = block.extent
-                if not (ext.start[2] <= self.level_index < ext.stop[2]):
+                slab = self._block_slab(block)
+                if slab is None:
                     continue
-                data = reconstruct_block(block)
-                local_k = self.level_index - ext.start[2]
-                image[ext.slices[0], ext.slices[1]] = data[:, :, local_k]
+                ext = block.extent
+                image[ext.slices[0], ext.slices[1]] = slab
             covered = ~np.isnan(image)
+            result.coverage = covered
             if np.any(covered):
-                filled = np.where(covered, image, np.nanmin(image[covered]))
+                # Uncovered pixels get the colormap floor; the compositing
+                # driver replaces them with other ranks' covered pixels.
+                filled = np.where(covered, image, float(self.vmin))
                 result.image = apply_colormap(
                     filled, cmap=self.cmap, vmin=self.vmin, vmax=self.vmax
                 )

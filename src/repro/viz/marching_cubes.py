@@ -88,6 +88,21 @@ def _build_tet_cases() -> Dict[int, List[Tuple[Tuple[int, int], ...]]]:
 _TET_CASES = _build_tet_cases()
 
 
+def _active_cell_mask(f: np.ndarray, level: float) -> np.ndarray:
+    """Boolean mask of the cells crossed by the ``level`` isosurface.
+
+    ``f`` must already be a 3-D float64 array with every axis >= 2.  The mask
+    is the single source of truth for cell activity: the counting helpers and
+    the mesh extractor all derive from it, so their cell counts can never
+    disagree.
+    """
+    c = [f[:-1, :-1, :-1], f[1:, :-1, :-1], f[:-1, 1:, :-1], f[1:, 1:, :-1],
+         f[:-1, :-1, 1:], f[1:, :-1, 1:], f[:-1, 1:, 1:], f[1:, 1:, 1:]]
+    stacked_min = np.minimum.reduce(c)
+    stacked_max = np.maximum.reduce(c)
+    return (stacked_min < level) & (stacked_max >= level)
+
+
 def count_active_cells(field: np.ndarray, level: float) -> int:
     """Number of grid cells crossed by the ``level`` isosurface.
 
@@ -99,41 +114,76 @@ def count_active_cells(field: np.ndarray, level: float) -> int:
         raise ValueError(f"field must be 3-D, got shape {f.shape}")
     if min(f.shape) < 2:
         return 0
-    c = [f[:-1, :-1, :-1], f[1:, :-1, :-1], f[:-1, 1:, :-1], f[1:, 1:, :-1],
-         f[:-1, :-1, 1:], f[1:, :-1, 1:], f[:-1, 1:, 1:], f[1:, 1:, 1:]]
-    stacked_min = np.minimum.reduce(c)
-    stacked_max = np.maximum.reduce(c)
-    return int(np.count_nonzero((stacked_min < level) & (stacked_max >= level)))
+    return int(np.count_nonzero(_active_cell_mask(f, level)))
 
 
-def marching_cubes(
+def count_active_cells_batch(batch: np.ndarray, level: float) -> np.ndarray:
+    """Per-block active-cell counts of a stacked ``(nblocks, sx, sy, sz)`` batch.
+
+    Vectorised counterpart of :func:`count_active_cells`: one min/max pass
+    over the stacked batch instead of one Python call per block.  Every entry
+    is bitwise identical to ``count_active_cells(batch[i], level)`` — the
+    comparisons are the same exact float64 min/max tests, only carried out
+    with a leading block axis — so the batched rendering backends cannot
+    perturb any count-derived decision.
+    """
+    arr = np.asarray(batch)
+    if arr.ndim != 4:
+        raise ValueError(f"batch must be 4-D, got shape {arr.shape}")
+    nblocks = arr.shape[0]
+    if nblocks == 0 or min(arr.shape[1:]) < 2:
+        return np.zeros(nblocks, dtype=np.int64)
+    level = float(level)
+    if arr.dtype != np.float32:
+        arr = np.asarray(arr, dtype=np.float64)
+    # Separable per-axis reduction: 3 ufunc calls (on shrinking
+    # intermediates) instead of 7 over the 8 corner views.  min/max select
+    # values exactly, so the cell minima/maxima — and therefore the counts —
+    # are bitwise identical to the 8-corner float64 reduction the scalar
+    # :func:`_active_cell_mask` performs.  float32 payloads stay in float32
+    # (the float32→float64 cast is value-preserving, so the selected
+    # extrema are the same numbers); the level comparisons then happen in
+    # float32 only when ``level`` is exactly representable there, otherwise
+    # the (much smaller) cell extrema are promoted to float64 first.
+    cell_min = np.minimum(arr[:, :-1], arr[:, 1:])
+    cell_max = np.maximum(arr[:, :-1], arr[:, 1:])
+    cell_min = np.minimum(cell_min[:, :, :-1], cell_min[:, :, 1:])
+    cell_max = np.maximum(cell_max[:, :, :-1], cell_max[:, :, 1:])
+    cell_min = np.minimum(cell_min[:, :, :, :-1], cell_min[:, :, :, 1:])
+    cell_max = np.maximum(cell_max[:, :, :, :-1], cell_max[:, :, :, 1:])
+    if cell_min.dtype == np.float32 and float(np.float32(level)) != level:
+        cell_min = cell_min.astype(np.float64)
+        cell_max = cell_max.astype(np.float64)
+    active = (cell_min < cell_min.dtype.type(level)) & (
+        cell_max >= cell_max.dtype.type(level)
+    )
+    return np.count_nonzero(active, axis=(1, 2, 3)).astype(np.int64)
+
+
+def extract_isosurface(
     field: np.ndarray,
     level: float,
     coords: Optional[Sequence[np.ndarray]] = None,
-) -> TriangleMesh:
-    """Extract the ``level`` isosurface of a 3-D scalar field.
+) -> Tuple[TriangleMesh, int]:
+    """Extract the ``level`` isosurface and count the crossed cells in one pass.
 
-    Parameters
-    ----------
-    field:
-        3-D scalar array.
-    level:
-        Isovalue (e.g. 45 dBZ for the weak-echo-region surface).
-    coords:
-        Optional per-axis coordinate arrays (rectilinear grid); grid indices
-        are used as coordinates when omitted.
+    Identical to :func:`marching_cubes` but also returns the number of active
+    (isosurface-crossing) cells from the *same* detection pass, so callers that
+    need both the geometry and the cell count — the isosurface rendering
+    scripts do — scan the field once instead of twice.  The count is bitwise
+    identical to :func:`count_active_cells` (both derive from
+    :func:`_active_cell_mask`).
 
     Returns
     -------
-    TriangleMesh
-        Triangle soup of the isosurface (vertices are not shared between
-        triangles).
+    (mesh, active_cells)
+        Triangle soup of the isosurface plus the active-cell count.
     """
     f = np.asarray(field, dtype=np.float64)
     if f.ndim != 3:
         raise ValueError(f"field must be 3-D, got shape {f.shape}")
     if min(f.shape) < 2:
-        return TriangleMesh()
+        return TriangleMesh(), 0
     if coords is None:
         axes = [np.arange(n, dtype=np.float64) for n in f.shape]
     else:
@@ -146,16 +196,11 @@ def marching_cubes(
                     f"coords[{axis}] must be 1-D of length {n}, got shape {c.shape}"
                 )
 
-    # 1. Locate active cells.
-    corner_vals = [
-        f[o[0] : f.shape[0] - 1 + o[0], o[1] : f.shape[1] - 1 + o[1], o[2] : f.shape[2] - 1 + o[2]]
-        for o in _CORNER_OFFSETS
-    ]
-    cell_min = np.minimum.reduce(corner_vals)
-    cell_max = np.maximum.reduce(corner_vals)
-    active = np.argwhere((cell_min < level) & (cell_max >= level))
-    if active.shape[0] == 0:
-        return TriangleMesh()
+    # 1. Locate active cells (the one and only detection pass).
+    active = np.argwhere(_active_cell_mask(f, level))
+    ncells_active = int(active.shape[0])
+    if ncells_active == 0:
+        return TriangleMesh(), 0
 
     # 2. Gather per-active-cell corner values and positions.
     ci, cj, ck = active[:, 0], active[:, 1], active[:, 2]
@@ -205,7 +250,7 @@ def marching_cubes(
                 soup_parts.append(tri_pts)
 
     if not soup_parts:
-        return TriangleMesh()
+        return TriangleMesh(), ncells_active
     soup = np.concatenate(soup_parts, axis=0)
     # Drop degenerate triangles (zero area), which can appear when the level
     # coincides exactly with corner values.
@@ -213,4 +258,31 @@ def marching_cubes(
     e2 = soup[:, 2] - soup[:, 0]
     areas = 0.5 * np.linalg.norm(np.cross(e1, e2), axis=1)
     soup = soup[areas > 1e-14]
-    return TriangleMesh.from_triangle_soup(soup)
+    return TriangleMesh.from_triangle_soup(soup), ncells_active
+
+
+def marching_cubes(
+    field: np.ndarray,
+    level: float,
+    coords: Optional[Sequence[np.ndarray]] = None,
+) -> TriangleMesh:
+    """Extract the ``level`` isosurface of a 3-D scalar field.
+
+    Parameters
+    ----------
+    field:
+        3-D scalar array.
+    level:
+        Isovalue (e.g. 45 dBZ for the weak-echo-region surface).
+    coords:
+        Optional per-axis coordinate arrays (rectilinear grid); grid indices
+        are used as coordinates when omitted.
+
+    Returns
+    -------
+    TriangleMesh
+        Triangle soup of the isosurface (vertices are not shared between
+        triangles).  Use :func:`extract_isosurface` to also obtain the
+        active-cell count from the same detection pass.
+    """
+    return extract_isosurface(field, level, coords=coords)[0]

@@ -7,6 +7,11 @@ import pytest
 
 from repro.core.config import AdaptationConfig, PipelineConfig
 from repro.core.engine import ENGINE_BACKENDS, ExecutionEngine
+from repro.core.rendering_step import (
+    ParallelRenderingStep,
+    RenderingStep,
+    VectorizedRenderingStep,
+)
 from repro.core.scoring_step import (
     ParallelScoringStep,
     ScoringStep,
@@ -73,6 +78,15 @@ class TestEngineConstruction:
         assert serial.backend == "serial"
         assert vector.backend == "vectorized"
         assert par.backend == "parallel"
+
+    def test_backend_selects_rendering_step(self):
+        platform = PlatformModel.blue_waters(4)
+        serial = ExecutionEngine(PipelineConfig(engine="serial"), platform)
+        vector = ExecutionEngine(PipelineConfig(engine="vectorized"), platform)
+        par = ExecutionEngine(PipelineConfig(engine="parallel"), platform)
+        assert type(serial.rendering) is RenderingStep
+        assert type(vector.rendering) is VectorizedRenderingStep
+        assert type(par.rendering) is ParallelRenderingStep
 
     def test_steps_satisfy_protocol(self):
         engine = ExecutionEngine(PipelineConfig(), PlatformModel.blue_waters(4))
@@ -247,6 +261,104 @@ class TestParallelScoringStep:
             )
 
 
+class TestRenderingBackends:
+    """All rendering backends must be indistinguishable downstream."""
+
+    @staticmethod
+    def _observable(step, blocks, iteration=0):
+        results, info = step.run(blocks, iteration)
+        return (
+            [r.per_block_active_cells for r in results],
+            [r.per_block_triangles for r in results],
+            [r.npoints for r in results],
+            info["triangles_per_rank"],
+            info["modelled_per_rank"],
+            info["total_triangles"],
+        )
+
+    @pytest.mark.parametrize("render_mode", ["count", "mesh"])
+    def test_backend_parity(self, tiny_scenario, render_mode):
+        blocks = tiny_scenario.blocks_for(0)
+        platform = tiny_scenario.platform
+        serial = RenderingStep(platform, render_mode=render_mode)
+        vector = VectorizedRenderingStep(platform, render_mode=render_mode)
+        # max_workers=3 forces several chunks across the 4 ranks.
+        parallel = ParallelRenderingStep(
+            platform, render_mode=render_mode, max_workers=3
+        )
+        reference = self._observable(serial, blocks)
+        assert self._observable(vector, blocks) == reference
+        assert self._observable(parallel, blocks) == reference
+
+    def test_parity_with_reduced_blocks(self, tiny_scenario):
+        from repro.grid.reduction import reduce_block
+
+        blocks = [
+            [reduce_block(b) if i % 2 else b for i, b in enumerate(rank_blocks)]
+            for rank_blocks in tiny_scenario.blocks_for(0)
+        ]
+        platform = tiny_scenario.platform
+        serial = RenderingStep(platform, render_mode="count")
+        vector = VectorizedRenderingStep(platform, render_mode="count")
+        parallel = ParallelRenderingStep(platform, render_mode="count", max_workers=3)
+        reference = self._observable(serial, blocks)
+        assert self._observable(vector, blocks) == reference
+        assert self._observable(parallel, blocks) == reference
+
+    def test_parallel_mesh_preserves_merged_mesh(self, tiny_scenario):
+        """Mesh-mode chunking must reassemble per-block meshes in block order,
+        so the merged per-rank mesh is identical to the serial backend's."""
+        blocks = tiny_scenario.blocks_for(0)
+        platform = tiny_scenario.platform
+        serial_results, _ = RenderingStep(platform, render_mode="mesh").run(blocks, 0)
+        parallel_results, _ = ParallelRenderingStep(
+            platform, render_mode="mesh", max_workers=3
+        ).run(blocks, 0)
+        for serial_result, parallel_result in zip(serial_results, parallel_results):
+            np.testing.assert_array_equal(
+                parallel_result.mesh.vertices, serial_result.mesh.vertices
+            )
+            np.testing.assert_array_equal(
+                parallel_result.mesh.triangles, serial_result.mesh.triangles
+            )
+
+    def test_parallel_handles_empty_ranks(self, tiny_scenario):
+        platform = tiny_scenario.platform
+        blocks = [list(tiny_scenario.blocks_for(0)[0]), [], []]
+        for mode in ("count", "mesh"):
+            serial = RenderingStep(platform, render_mode=mode)
+            parallel = ParallelRenderingStep(platform, render_mode=mode, max_workers=2)
+            assert self._observable(parallel, blocks) == self._observable(serial, blocks)
+
+    def test_max_workers_validated(self, tiny_scenario):
+        with pytest.raises(ValueError):
+            ParallelRenderingStep(tiny_scenario.platform, max_workers=0)
+
+
+def test_backends_identical_in_mesh_mode(tiny_scenario):
+    """The backends also agree when rendering real marching-cubes geometry."""
+
+    def trace(engine):
+        pipeline = tiny_scenario.build_pipeline(
+            metric="VAR",
+            redistribution="round_robin",
+            render_mode="mesh",
+            engine=engine,
+        )
+        result, renders = pipeline.process_iteration(
+            tiny_scenario.blocks_for(0), percent_override=50.0
+        )
+        return (
+            tuple(result.triangles_per_rank),
+            result.modelled_total,
+            tuple(r.active_cells for r in renders),
+        )
+
+    serial = trace("serial")
+    assert trace("vectorized") == serial
+    assert trace("parallel") == serial
+
+
 class TestMonitorStepReportQueries:
     def test_payload_and_counter_series(self, tiny_scenario):
         pipeline = tiny_scenario.build_pipeline(metric="VAR", redistribution="round_robin")
@@ -264,3 +376,42 @@ class TestMonitorStepReportQueries:
     def test_config_summary_reports_engine(self, tiny_scenario):
         pipeline = tiny_scenario.build_pipeline(engine="serial")
         assert pipeline.config_summary()["engine"] == "serial"
+
+    def test_monitor_accepts_custom_recorded_steps(self):
+        """Steps recorded by a custom engine are first-class: the series
+        queries must validate against what was recorded, not a hard-coded
+        step tuple."""
+        from repro.core.monitor import PerformanceMonitor
+        from repro.core.results import IterationResult
+
+        monitor = PerformanceMonitor()
+        report = StepReport(
+            step="warp",
+            measured_per_rank=[0.1],
+            modelled_per_rank=[1.5],
+            payload_bytes=64.0,
+            counters={"jumps": 2.0},
+        )
+        monitor.record_iteration(
+            IterationResult(
+                iteration=0,
+                percent_reduced=0.0,
+                nblocks=1,
+                nreduced=0,
+                modelled_steps={"warp": 1.5},
+                measured_steps={"warp": 0.1},
+                step_reports={"warp": report},
+            )
+        )
+        assert monitor.step_series("warp") == [1.5]
+        assert monitor.step_series("warp", modelled=False) == [0.1]
+        assert monitor.payload_bytes_series("warp") == [64.0]
+        assert monitor.counter_series("warp", "jumps") == [2.0]
+        # The canonical steps stay queryable, and unknown names still raise.
+        assert monitor.step_series("rendering") == [0.0]
+        with pytest.raises(ValueError):
+            monitor.step_series("hyperdrive")
+        with pytest.raises(ValueError):
+            monitor.payload_bytes_series("hyperdrive")
+        with pytest.raises(ValueError):
+            monitor.counter_series("hyperdrive", "x")

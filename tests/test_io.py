@@ -36,6 +36,24 @@ class TestManifest:
             IterationRecord(1, "", ["dbz"]).validate()
         with pytest.raises(ValueError):
             IterationRecord(1, "a.npz", []).validate()
+        with pytest.raises(ValueError):
+            IterationRecord(1, "a.npz", ["dbz"], dtypes={"ghost": "<f4"}).validate()
+
+    def test_record_dtypes_roundtrip(self):
+        manifest = DatasetManifest(shape=(4, 4, 2))
+        manifest.add_iteration(
+            IterationRecord(1, "a.npz", ["dbz"], dtypes={"dbz": "<f8"})
+        )
+        restored = DatasetManifest.from_json(manifest.to_json())
+        assert restored.iterations[0].dtypes == {"dbz": "<f8"}
+
+    def test_record_without_dtypes_accepted(self):
+        """Manifests written before dtypes were tracked still load."""
+        manifest = DatasetManifest(shape=(4, 4, 2))
+        manifest.add_iteration(IterationRecord(1, "a.npz", ["dbz"]))
+        text = manifest.to_json().replace('"dtypes": {},', "")
+        restored = DatasetManifest.from_json(text)
+        assert restored.iterations[0].dtypes == {}
 
     def test_find(self):
         manifest = DatasetManifest(shape=(4, 4, 2))
@@ -103,6 +121,37 @@ class TestDatasetStore:
         store.create(grid)
         loaded = store.grid()
         np.testing.assert_allclose(loaded.x, grid.x)
+
+    def test_dtype_preserved_roundtrip(self, tmp_path):
+        """float64 fields must round-trip bit-exactly (no silent float32 cast),
+        and float32 fields must stay float32."""
+        grid = RectilinearGrid.uniform((6, 6, 4))
+        store = DatasetStore(tmp_path / "ds")
+        store.create(grid)
+        rng = np.random.default_rng(42)
+        f64 = rng.normal(size=(6, 6, 4))  # float64, not float32-representable
+        f32 = rng.normal(size=(6, 6, 4)).astype(np.float32)
+        store.append(Domain(grid=grid, fields={"a": f64, "b": f32}, iteration=0))
+        loaded = store.load_iteration(0)
+        assert loaded.get_field("a").dtype == np.float64
+        assert loaded.get_field("b").dtype == np.float32
+        np.testing.assert_array_equal(loaded.get_field("a"), f64)
+        np.testing.assert_array_equal(loaded.get_field("b"), f32)
+        record = store.manifest().find(0)
+        assert np.dtype(record.dtypes["a"]) == np.float64
+        assert np.dtype(record.dtypes["b"]) == np.float32
+
+    def test_dtype_survives_manifest_reload(self, tmp_path):
+        """The recorded dtypes survive a manifest reload from disk."""
+        grid = RectilinearGrid.uniform((6, 6, 4))
+        store = DatasetStore(tmp_path / "ds")
+        store.create(grid)
+        f64 = np.full((6, 6, 4), 1.0 + 1e-12)  # lost under a float32 cast
+        store.append(Domain(grid=grid, fields={"dbz": f64}, iteration=0))
+        fresh = DatasetStore(tmp_path / "ds")
+        loaded = fresh.load_iteration(0)
+        assert loaded.get_field("dbz").dtype == np.float64
+        np.testing.assert_array_equal(loaded.get_field("dbz"), f64)
 
 
 class TestReplay:

@@ -12,7 +12,12 @@ from repro.viz.camera import Camera
 from repro.viz.catalyst import CatalystPipeline, ColormapScript, IsosurfaceScript
 from repro.viz.colormap import apply_colormap, grayscale, viridis_like
 from repro.viz.framebuffer import Framebuffer
-from repro.viz.marching_cubes import count_active_cells, marching_cubes
+from repro.viz.marching_cubes import (
+    count_active_cells,
+    count_active_cells_batch,
+    extract_isosurface,
+    marching_cubes,
+)
 from repro.viz.mesh import TriangleMesh
 from repro.viz.rasterizer import rasterize_mesh
 from repro.viz.slice_render import extract_slice, render_colormap_slice
@@ -121,6 +126,43 @@ class TestMarchingCubes:
             return
         assert mesh.vertices.min() >= -1e-9
         assert mesh.vertices.max() <= 6.0 + 1e-9
+
+    def test_extract_isosurface_single_pass_consistency(self):
+        """extract_isosurface returns the same mesh and count as the two-pass API."""
+        field, x = sphere_field(n=24, radius=0.5)
+        mesh, cells = extract_isosurface(field, 0.0, coords=(x, x, x))
+        assert cells == count_active_cells(field, 0.0)
+        assert mesh.ntriangles == marching_cubes(field, 0.0, coords=(x, x, x)).ntriangles
+        empty_mesh, empty_cells = extract_isosurface(np.zeros((5, 5, 5)), 1.0)
+        assert empty_mesh.is_empty and empty_cells == 0
+
+    def test_count_batch_matches_scalar(self):
+        """Batched counts are bitwise identical to per-block counts."""
+        rng = np.random.default_rng(7)
+        batch = rng.normal(size=(9, 5, 6, 4))
+        for level in (-0.3, 0.0, 0.1):
+            got = count_active_cells_batch(batch, level)
+            want = [count_active_cells(batch[i], level) for i in range(9)]
+            assert got.tolist() == want
+
+    def test_count_batch_matches_scalar_float32(self):
+        """float32 batches match the scalar float64 path, including levels
+        that are not exactly representable in float32."""
+        rng = np.random.default_rng(11)
+        batch = rng.normal(size=(7, 4, 5, 6)).astype(np.float32)
+        for level in (0.1, float(np.nextafter(0.25, 1.0)), -0.30000000000000004):
+            got = count_active_cells_batch(batch, level)
+            want = [
+                count_active_cells(np.asarray(batch[i], dtype=np.float64), level)
+                for i in range(batch.shape[0])
+            ]
+            assert got.tolist() == want
+
+    def test_count_batch_degenerate_and_validation(self):
+        assert count_active_cells_batch(np.zeros((0, 4, 4, 4)), 0.5).tolist() == []
+        assert count_active_cells_batch(np.zeros((3, 1, 4, 4)), 0.5).tolist() == [0, 0, 0]
+        with pytest.raises(ValueError):
+            count_active_cells_batch(np.zeros((4, 4, 4)), 0.5)
 
 
 class TestCameraAndRasterizer:
@@ -263,16 +305,133 @@ class TestCatalyst:
         with pytest.raises(ValueError):
             IsosurfaceScript(mode="count", render_image=True)
 
+    def test_process_batch_matches_process(self, tiny_field):
+        """The batched count path is indistinguishable from the per-block loop,
+        on a mixed list of full and reduced (2×2×2) blocks."""
+        blocks, _ = self._blocks(tiny_field)
+        mixed = [
+            reduce_block(block) if i % 2 else block for i, block in enumerate(blocks)
+        ]
+        script = IsosurfaceScript(level=45.0, mode="count")
+        reference = script.process(mixed, 1)
+        batched = script.process_batch(mixed, 1)
+        assert batched.per_block_active_cells == reference.per_block_active_cells
+        assert batched.per_block_triangles == reference.per_block_triangles
+        assert batched.npoints == reference.npoints
+        assert batched.iteration == reference.iteration
+
+    def test_process_batch_mesh_mode_delegates(self, tiny_field):
+        blocks, _ = self._blocks(tiny_field)
+        script = IsosurfaceScript(level=45.0, mode="mesh")
+        reference = script.process(blocks, 0)
+        batched = script.process_batch(blocks, 0)
+        assert batched.per_block_triangles == reference.per_block_triangles
+        assert batched.per_block_active_cells == reference.per_block_active_cells
+        assert batched.mesh.ntriangles == reference.mesh.ntriangles
+
+    def test_process_batch_empty_rank(self):
+        script = IsosurfaceScript(level=45.0, mode="count")
+        result = script.process_batch([], 2)
+        assert result.npoints == 0
+        assert result.per_block_triangles == {}
+
+    def test_reduced_block_geometry_stays_in_extent(self):
+        """Reduced-block isosurface vertices never leave the block's extent."""
+        extent = BlockExtent(start=(4, 6, 3), stop=(10, 12, 8))
+        x = np.linspace(0.0, 100.0, 6)
+        data = np.broadcast_to(x[:, None, None], (6, 6, 5)).copy()
+        reduced = reduce_block(Block(block_id=0, extent=extent, data=data))
+        result = IsosurfaceScript(level=45.0, mode="mesh").process([reduced], 0)
+        assert not result.mesh.is_empty
+        lo, hi = result.mesh.bounds()
+        for axis in range(3):
+            assert lo[axis] >= extent.start[axis] - 1e-9
+            assert hi[axis] <= extent.stop[axis] - 1 + 1e-9
+
+    def test_reduced_block_degenerate_axis_regression(self):
+        """A reduced block with a length-1 axis must not emit geometry outside
+        its extent (the high corner used to be placed at start + 1, one past
+        the only covered plane)."""
+        extent = BlockExtent(start=(4, 6, 5), stop=(10, 12, 6))  # length-1 z
+        x = np.linspace(0.0, 100.0, 6)
+        data = np.broadcast_to(x[:, None, None], (6, 6, 1)).copy()
+        reduced = reduce_block(Block(block_id=0, extent=extent, data=data))
+        result = IsosurfaceScript(level=45.0, mode="mesh").process([reduced], 0)
+        if not result.mesh.is_empty:
+            lo, hi = result.mesh.bounds()
+            assert lo[2] >= 5.0 - 1e-9
+            assert hi[2] <= 5.0 + 1e-9  # never reaches z = 6 (outside extent)
+
     def test_colormap_script(self, tiny_field):
         blocks, decomp = self._blocks(tiny_field)
         script = ColormapScript(level_index=2, global_shape=tiny_field.shape)
+        script.fit_bounds([blocks])
         result = script.process(blocks, 0)
         assert result.image is not None
         assert result.image.shape == tiny_field.shape[:2]
+        assert result.coverage is not None
+        assert result.coverage.shape == tiny_field.shape[:2]
 
     def test_colormap_script_validation(self, tiny_field):
         with pytest.raises(ValueError):
             ColormapScript(level_index=100, global_shape=tiny_field.shape)
+
+    def test_colormap_requires_global_bounds(self, tiny_field):
+        blocks, _ = self._blocks(tiny_field)
+        script = ColormapScript(level_index=2, global_shape=tiny_field.shape)
+        with pytest.raises(RuntimeError):
+            script.process(blocks, 0)
+
+    def test_colormap_fit_bounds_keeps_explicit_bounds(self, tiny_field):
+        blocks, _ = self._blocks(tiny_field)
+        script = ColormapScript(
+            level_index=2, global_shape=tiny_field.shape, vmin=-10.0, vmax=90.0
+        )
+        assert script.fit_bounds([blocks]) == (-10.0, 90.0)
+        partial = ColormapScript(
+            level_index=2, global_shape=tiny_field.shape, vmin=-10.0
+        )
+        vmin, vmax = partial.fit_bounds([blocks])
+        assert vmin == -10.0  # explicit bound kept
+        assert np.isfinite(vmax) and vmax > vmin  # fitted from the data
+
+    def test_colormap_fit_bounds_requires_coverage(self, tiny_field):
+        blocks, _ = self._blocks(tiny_field)
+        covered = [
+            b for b in blocks if not (b.extent.start[2] <= 2 < b.extent.stop[2])
+        ]
+        script = ColormapScript(level_index=2, global_shape=tiny_field.shape)
+        with pytest.raises(ValueError):
+            script.fit_bounds([covered])
+
+    def test_colormap_compositing_consistent_across_ranks(self, tiny_field):
+        """Regression: per-rank partial images composited with shared global
+        bounds reproduce the full-domain colormap exactly (no seams at rank
+        boundaries, which per-rank min/max normalisation used to create)."""
+        from repro.grid.decomposition import CartesianDecomposition
+
+        nranks = 2
+        decomp = CartesianDecomposition(
+            tiny_field.shape, nranks=nranks, blocks_per_subdomain=(2, 2, 1)
+        )
+        per_rank = [decomp.extract_blocks(r, tiny_field) for r in range(nranks)]
+        script = ColormapScript(level_index=2, global_shape=tiny_field.shape)
+        vmin, vmax = script.fit_bounds(per_rank)
+        composite = np.zeros(tiny_field.shape[:2], dtype=np.float64)
+        covered = np.zeros(tiny_field.shape[:2], dtype=bool)
+        for rank in range(nranks):
+            result = script.process(per_rank[rank], 0)
+            assert result.coverage is not None
+            composite[result.coverage] = result.image[result.coverage]
+            covered |= result.coverage
+        assert covered.all()  # the ranks tile the whole domain
+        expected = apply_colormap(
+            np.asarray(tiny_field[:, :, 2], dtype=np.float64),
+            cmap="gray",
+            vmin=vmin,
+            vmax=vmax,
+        )
+        np.testing.assert_array_equal(composite, expected)
 
     def test_pipeline_requires_scripts(self):
         with pytest.raises(RuntimeError):
@@ -286,7 +445,10 @@ class TestCatalyst:
     def test_pipeline_runs_all_scripts(self, tiny_field):
         blocks, _ = self._blocks(tiny_field)
         pipeline = CatalystPipeline(
-            [IsosurfaceScript(level=45.0, mode="count"), ColormapScript(2, tiny_field.shape)]
+            [
+                IsosurfaceScript(level=45.0, mode="count"),
+                ColormapScript(2, tiny_field.shape, vmin=-60.0, vmax=80.0),
+            ]
         )
         results = pipeline.coprocess(blocks, 3)
         assert len(results) == 2
