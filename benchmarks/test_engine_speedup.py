@@ -2,8 +2,10 @@
 loops ≥3x on the hot data-parallel steps — scoring, for the array metrics
 (VAR) *and* for the coder metrics (FPZIP, the most expensive scorer of the
 paper's Table I and the one its figures plot), and counting-mode rendering
-(the load proxy the large virtual-rank experiments run) — and all three
-backends must reproduce the fig10/fig11 runs identically.
+(the load proxy the large virtual-rank experiments run) — and, now that
+sorting, reduction, and redistribution are batched too, on the *entire*
+fig11 pipeline end to end.  All three backends must reproduce the
+fig10/fig11 runs identically, down to every field of every step report.
 
 The speedup scenario uses the paper's 64-rank configuration with a finer
 4×4×4 block decomposition (4,096 blocks): the regime the redistribution step
@@ -140,6 +142,92 @@ def test_vectorized_rendering_speedup(fine_scenario_64):
         f"{MIN_SPEEDUP}x (serial {serial_seconds:.3f}s, vectorized "
         f"{vector_seconds:.3f}s)"
     )
+
+
+def test_fig11_full_pipeline_speedup(fine_scenario_64):
+    """The whole fig11 iteration — all five Figure-2 steps — runs ≥3x faster
+    on the vectorized backend than on the serial reference.
+
+    This is the gate the backend registry exists to win: after PRs 1–3 the
+    fig11 hot path was dominated by the unvectorized middle of the pipeline
+    (per-block sorting/reduction/redistribution loops), so scoring and
+    rendering speedups alone could not move the end-to-end number.  The
+    measured iteration runs the fig11 configuration (VAR metric, round-robin
+    redistribution) at a 50% reduction percentage, the middle of the
+    adaptive band the fig11 runs settle into.
+    """
+    blocks = fine_scenario_64.blocks_for(0)
+
+    def build(engine):
+        return fine_scenario_64.build_pipeline(
+            metric="VAR", redistribution="round_robin", engine=engine
+        )
+
+    serial = build("serial")
+    vector = build("vectorized")
+
+    def iteration(pipeline):
+        return lambda: pipeline.process_iteration(blocks, percent_override=50.0)
+
+    for _attempt in range(3):
+        serial_seconds = _best_of(iteration(serial), repeats=3)
+        vector_seconds = _best_of(iteration(vector), repeats=3)
+        speedup = serial_seconds / vector_seconds
+        if speedup >= MIN_SPEEDUP:
+            break
+    print(
+        f"\nfig11 full pipeline 4096 blocks / 64 ranks: "
+        f"serial {serial_seconds * 1e3:.1f} ms, "
+        f"vectorized {vector_seconds * 1e3:.1f} ms, speedup {speedup:.1f}x"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized full-pipeline speedup {speedup:.2f}x below required "
+        f"{MIN_SPEEDUP}x (serial {serial_seconds:.3f}s, vectorized "
+        f"{vector_seconds:.3f}s)"
+    )
+
+
+def test_fig11_step_reports_identical_on_every_field(fine_scenario_64):
+    """Serial, vectorized, and parallel step reports agree on *every* field
+    of *every* step of a fig11 adaptive run — modelled per-rank seconds,
+    payload bytes, counters, and per-rank counters; measured wall-clock is
+    the one field that legitimately differs (only its per-rank shape is
+    compared)."""
+
+    def fig11_reports(engine, niterations=2):
+        pipeline = fine_scenario_64.build_pipeline(
+            metric="VAR",
+            redistribution="round_robin",
+            adaptation=AdaptationConfig(
+                enabled=True, target_seconds=PAPER_FIG11_TARGETS[64][0]
+            ),
+            engine=engine,
+        )
+        reports = []
+        for _ in range(niterations):
+            result, _ = pipeline.process_iteration(fine_scenario_64.blocks_for(0))
+            reports.append(result.step_reports)
+        return reports
+
+    reference = fig11_reports("serial")
+    for engine in ("vectorized", "parallel"):
+        other = fig11_reports(engine)
+        for ref_iter, other_iter in zip(reference, other):
+            assert set(other_iter) == set(ref_iter)
+            for name, ref in ref_iter.items():
+                report = other_iter[name]
+                assert report.step == ref.step
+                assert report.modelled_per_rank == ref.modelled_per_rank, (
+                    engine,
+                    name,
+                )
+                assert report.payload_bytes == ref.payload_bytes, (engine, name)
+                assert report.counters == ref.counters, (engine, name)
+                assert report.per_rank_counters == ref.per_rank_counters, (
+                    engine,
+                    name,
+                )
+                assert len(report.measured_per_rank) == len(ref.measured_per_rank)
 
 
 def _adaptive_trace(scenario, redistribution, target, engine, niterations=4):

@@ -18,25 +18,40 @@ blocks of every simulation iteration:
 
 Each of the five data steps implements the :class:`PipelineStep` contract
 (:mod:`repro.core.step`): ``execute(context) -> StepReport``.  The
-:class:`ExecutionEngine` (:mod:`repro.core.engine`) runs the step sequence
-with a ``"serial"``, ``"vectorized"``, or ``"parallel"`` backend — selected through
-``PipelineConfig.engine`` — and :class:`InSituPipeline` layers the adaptation
-controller and the :class:`PerformanceMonitor` on top.  The monitor records
-per-iteration, per-step timings in both measured wall-clock and modelled
-platform seconds, plus the per-step payload bytes and counters carried by the
-step reports.
+:class:`ExecutionEngine` (:mod:`repro.core.engine`) resolves each step's
+implementation through the backend registry (:mod:`repro.core.backends`) for
+a ``"serial"``, ``"vectorized"``, or ``"parallel"`` backend — selected
+through ``PipelineConfig.engine``, extensible by third-party registrations —
+and :class:`InSituPipeline` layers the adaptation controller and the
+:class:`PerformanceMonitor` on top.  The monitor records per-iteration,
+per-step timings in both measured wall-clock and modelled platform seconds,
+plus the per-step payload bytes and counters carried by the step reports.
 """
 
 from repro.core.config import PipelineConfig, AdaptationConfig
 from repro.core.adaptation import adapt_percent, AdaptationController
+from repro.core.backends import (
+    STEP_NAMES,
+    StepBuildContext,
+    build_step,
+    engine_backends,
+    register_step_backend,
+    registered_steps,
+    resolve_step_factory,
+)
 from repro.core.step import IterationContext, PipelineStep, StepReport
 from repro.core.scoring_step import (
     ParallelScoringStep,
     ScoringStep,
     VectorizedScoringStep,
 )
-from repro.core.sorting_step import SortingStep
-from repro.core.reduction_step import ReductionStep, select_blocks_to_reduce
+from repro.core.sorting_step import SortingStep, VectorizedSortingStep
+from repro.core.reduction_step import (
+    ParallelReductionStep,
+    ReductionStep,
+    VectorizedReductionStep,
+    select_blocks_to_reduce,
+)
 from repro.core.redistribution import (
     RedistributionStrategy,
     RedistributionStep,
@@ -50,10 +65,20 @@ from repro.core.rendering_step import (
     RenderingStep,
     VectorizedRenderingStep,
 )
-from repro.core.engine import ENGINE_BACKENDS, ExecutionEngine
+from repro.core.engine import ExecutionEngine
 from repro.core.monitor import PerformanceMonitor
 from repro.core.results import IterationResult, PipelineRunResult
 from repro.core.pipeline import InSituPipeline
+
+
+def __getattr__(name: str):
+    # Live view of the registry-derived backend tuple: a frozen import-time
+    # binding would hide backends registered after this package was imported
+    # (config and engine forward the same way).
+    if name == "ENGINE_BACKENDS":
+        return engine_backends()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "PipelineConfig",
@@ -67,8 +92,18 @@ __all__ = [
     "VectorizedScoringStep",
     "ParallelScoringStep",
     "SortingStep",
+    "VectorizedSortingStep",
     "ReductionStep",
+    "VectorizedReductionStep",
+    "ParallelReductionStep",
     "select_blocks_to_reduce",
+    "STEP_NAMES",
+    "StepBuildContext",
+    "build_step",
+    "engine_backends",
+    "register_step_backend",
+    "registered_steps",
+    "resolve_step_factory",
     "RedistributionStrategy",
     "RedistributionStep",
     "NoRedistribution",

@@ -5,11 +5,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro.core.backends import engine_backends
 from repro.utils.validation import ensure_in_range, ensure_positive
 
-#: Execution backends selectable through ``PipelineConfig.engine``; the
-#: authoritative list (the engine module re-exports it).
-ENGINE_BACKENDS = ("serial", "vectorized", "parallel")
+
+def __getattr__(name: str):
+    # ``ENGINE_BACKENDS`` is derived from the backend registry
+    # (:mod:`repro.core.backends`) rather than kept as a second hand-written
+    # tuple: a backend registered by a third party is immediately selectable
+    # and immediately listed here.  Resolved lazily so late registrations are
+    # visible to ``from repro.core.config import ENGINE_BACKENDS`` readers
+    # that re-fetch the attribute.
+    if name == "ENGINE_BACKENDS":
+        return engine_backends()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -76,21 +85,27 @@ class PipelineConfig:
         seconds; when False it reacts to measured wall-clock (useful for
         pure-software runs without the platform model).
     engine:
-        Execution backend of the step sequence: ``"vectorized"`` (default)
-        runs the data-parallel steps — scoring *and* rendering — over stacked
-        :class:`~repro.grid.batch.BlockBatch` arrays (one ``score_batch``
-        call per shape group; one ``count_active_cells_batch`` call per shape
-        group in counting-mode rendering); ``"serial"`` iterates blocks one
-        at a time; ``"parallel"`` additionally fans the work out over
-        ``concurrent.futures`` thread pools (per-shape score chunks, whole
-        ranks for rendering), which is how metrics whose scoring is
-        inherently per-block (user-supplied scalar metrics) scale with cores.
-        All backends produce identical scores, reduction and redistribution
+        Execution backend of the step sequence, resolved through the backend
+        registry (:mod:`repro.core.backends`), which third-party backends can
+        extend.  ``"vectorized"`` (default) runs every data-parallel step
+        over stacked :class:`~repro.grid.batch.BlockBatch` arrays — one
+        ``score_batch`` call per shape group in scoring, one
+        ``np.lexsort`` pass in the sorting collective, one
+        ``reduce_to_corners_batch`` corner gather per shape group in
+        reduction, one searchsorted/bincount pass in the redistribution
+        planner, and one ``count_active_cells_batch`` call per shape group
+        in counting-mode rendering.  ``"serial"`` iterates blocks one at a
+        time (the reference implementation); ``"parallel"`` additionally
+        fans the per-rank work out over ``concurrent.futures`` thread pools
+        (per-shape score chunks, whole ranks for reduction and rendering),
+        which is how metrics whose scoring is inherently per-block
+        (user-supplied scalar metrics) scale with cores.  All backends
+        produce identical scores, sort orders, reduction and redistribution
         decisions, active-cell/triangle counts, and modelled timings;
         measured wall-clock naturally differs (the vectorized and parallel
-        steps attribute one global pass proportionally to per-rank point
-        counts), so runs driven by ``use_modelled_time=False`` are backend-
-        and machine-dependent.
+        steps attribute one global pass proportionally to per-rank work),
+        so runs driven by ``use_modelled_time=False`` are backend- and
+        machine-dependent.
     """
 
     metric: str = "VAR"
@@ -109,9 +124,9 @@ class PipelineConfig:
                 f"redistribution must be 'none', 'shuffle' or 'round_robin', "
                 f"got {self.redistribution!r}"
             )
-        if self.engine not in ENGINE_BACKENDS:
+        if self.engine not in engine_backends():
             raise ValueError(
-                f"engine must be one of {ENGINE_BACKENDS}, got {self.engine!r}"
+                f"engine must be one of {engine_backends()}, got {self.engine!r}"
             )
         if self.render_mode not in ("count", "mesh"):
             raise ValueError(

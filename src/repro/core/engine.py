@@ -1,51 +1,57 @@
 """The execution engine: an ordered list of PipelineSteps plus a backend.
 
-The engine owns the communicator, the metric, and the five concrete steps of
-the paper's Figure 2, and runs them as a uniform :class:`PipelineStep`
-sequence over an :class:`IterationContext`.  The ``backend`` selects how the
-data-parallel steps are implemented:
+The engine owns the communicator, the metric, and the redistribution
+strategy, and runs the five concrete steps of the paper's Figure 2 as a
+uniform :class:`PipelineStep` sequence over an :class:`IterationContext`.
+The steps themselves are not hard-wired: every ``(step, backend)`` pair is
+resolved through the backend registry (:mod:`repro.core.backends`), so
+third-party backends register factories instead of editing this module, and
+``ENGINE_BACKENDS`` is derived from the registry.
+
+The ``backend`` selects how all five data-parallel steps are implemented:
 
 * ``"serial"`` — every step iterates blocks one at a time (the reference
-  implementation, and the behaviour of the original hard-wired pipeline);
-* ``"vectorized"`` — the scoring *and rendering* steps stack block payloads
-  into shape-homogeneous arrays (the :class:`~repro.grid.batch.BlockBatch`
-  data layout): scoring runs one ``score_batch`` call per cross-rank shape
-  group, and counting-mode rendering runs one ``count_active_cells_batch``
-  call per per-rank shape group;
+  implementation, and the behaviour of the original hard-wired pipeline):
+  per-block scoring through ``metric.score_blocks``, a Python ``sorted``
+  over the gathered score tuples, per-block corner reduction, and per-block
+  rendering through ``IsosurfaceScript.process``;
+* ``"vectorized"`` — every step runs over stacked shape-homogeneous arrays
+  (the :class:`~repro.grid.batch.BlockBatch` data layout): scoring runs one
+  ``score_batch`` call per cross-rank shape group, the sorting collective
+  sorts with one ``np.lexsort`` over the gathered ``(score, id)`` arrays,
+  reduction gathers each shape group's corners with one
+  ``reduce_to_corners_batch`` fancy-index pass, redistribution plans the
+  exchange with one ``searchsorted``/``bincount`` pass, and counting-mode
+  rendering runs one ``count_active_cells_batch`` call per shape group;
 * ``"parallel"`` — the same grouping fanned out over ``concurrent.futures``
-  thread pools: per-shape score chunks for batch metrics, chunked per-block
-  scoring for scalar user metrics, and whole ranks (per-shape mesh chunks in
-  mesh mode) for rendering.
+  thread pools where per-rank work exists: per-shape score chunks for batch
+  metrics, chunked per-block scoring for scalar user metrics, whole ranks
+  for reduction and rendering (per-shape mesh chunks in mesh mode); the
+  collectives (sorting, redistribution) share the vectorised path.
 
 All backends produce bitwise-identical decisions and modelled results (ids,
-scores, reduction decisions, moved bytes, active-cell and triangle counts,
-modelled seconds) — measured wall-clock is the one quantity that
-legitimately differs; the vectorised backend is simply faster, because the
-per-block Python overhead of the hot scoring and rendering loops collapses
-into a handful of NumPy calls.  Later scaling work (async engines, sharded
-ranks, alternative accelerator backends) plugs in here by providing
-different step implementations for the same contract.
+scores, sort orders, reduction decisions, moved bytes, active-cell and
+triangle counts, modelled seconds) — measured wall-clock is the one quantity
+that legitimately differs; the vectorised backend is simply faster, because
+the per-block Python overhead of every hot loop collapses into a handful of
+NumPy calls.  Later scaling work (async engines, sharded ranks, alternative
+accelerator backends) plugs in by registering step factories for a new
+backend name.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.core.config import ENGINE_BACKENDS, PipelineConfig
-from repro.core.redistribution import RedistributionStep, make_strategy
-from repro.core.reduction_step import ReductionStep
-from repro.core.rendering_step import (
-    ParallelRenderingStep,
-    RenderingStep,
-    VectorizedRenderingStep,
+from repro.core.backends import (
+    STEP_NAMES,
+    StepBuildContext,
+    build_step,
+    engine_backends,
 )
+from repro.core.config import PipelineConfig
+from repro.core.redistribution import make_strategy
 from repro.core.results import IterationResult
-from repro.core.scoring_step import (
-    ParallelScoringStep,
-    ScoringStep,
-    VectorizedScoringStep,
-)
-from repro.core.sorting_step import SortingStep
 from repro.core.step import IterationContext, PipelineStep
 from repro.grid.block import Block
 from repro.metrics.registry import create_metric
@@ -53,6 +59,14 @@ from repro.perfmodel.platform import PlatformModel
 from repro.simmpi.communicator import BSPCommunicator
 
 __all__ = ["ENGINE_BACKENDS", "ExecutionEngine"]
+
+
+def __getattr__(name: str):
+    # Re-export of the registry-derived backend tuple (kept live so backends
+    # registered after import are visible).
+    if name == "ENGINE_BACKENDS":
+        return engine_backends()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class ExecutionEngine:
@@ -70,8 +84,9 @@ class ExecutionEngine:
     comm:
         Optional pre-built communicator (mainly for tests).
     backend:
-        Override of ``config.engine`` (``"serial"``, ``"vectorized"``, or
-        ``"parallel"``).
+        Override of ``config.engine`` (any backend registered in
+        :mod:`repro.core.backends` — ``"serial"``, ``"vectorized"``,
+        ``"parallel"``, or a third-party registration).
     """
 
     def __init__(
@@ -85,9 +100,10 @@ class ExecutionEngine:
         self.config = config
         self.platform = platform
         self.backend = (backend or config.engine).strip().lower()
-        if self.backend not in ENGINE_BACKENDS:
+        if self.backend not in engine_backends():
             raise ValueError(
-                f"engine backend must be one of {ENGINE_BACKENDS}, got {self.backend!r}"
+                f"engine backend must be one of {engine_backends()}, "
+                f"got {self.backend!r}"
             )
         self.nranks = int(nranks) if nranks is not None else int(platform.ncores)
         if self.nranks < 1:
@@ -98,35 +114,29 @@ class ExecutionEngine:
                 f"communicator has {self.comm.nranks} ranks, expected {self.nranks}"
             )
         self.metric = create_metric(config.metric)
-        scoring_cls = {
-            "serial": ScoringStep,
-            "vectorized": VectorizedScoringStep,
-            "parallel": ParallelScoringStep,
-        }[self.backend]
-        self.scoring = scoring_cls(self.metric, platform)
-        self.sorting = SortingStep(self.comm)
-        self.reduction = ReductionStep()
         self.strategy = make_strategy(config.redistribution, seed=config.shuffle_seed)
-        self.redistribution = RedistributionStep(self.strategy, self.comm)
-        rendering_cls = {
-            "serial": RenderingStep,
-            "vectorized": VectorizedRenderingStep,
-            "parallel": ParallelRenderingStep,
-        }[self.backend]
-        self.rendering = rendering_cls(
-            platform,
-            isosurface_level=config.isosurface_level,
-            render_mode=config.render_mode,
+        context = StepBuildContext(
+            config=config,
+            platform=platform,
+            comm=self.comm,
+            metric=self.metric,
+            strategy=self.strategy,
+            nranks=self.nranks,
+            backend=self.backend,
         )
         #: The ordered step sequence of the paper's Figure 2 (the sixth step,
-        #: adaptation, is the controller that *consumes* these results).
+        #: adaptation, is the controller that *consumes* these results),
+        #: every entry resolved through the backend registry.
         self.steps: List[PipelineStep] = [
+            build_step(name, self.backend, context) for name in STEP_NAMES
+        ]
+        (
             self.scoring,
             self.sorting,
             self.reduction,
             self.redistribution,
             self.rendering,
-        ]
+        ) = self.steps
 
     # -- execution ----------------------------------------------------------------
 

@@ -5,6 +5,17 @@ compute the same target assignment without additional coordination, then
 exchange the block payloads with non-blocking point-to-point messages —
 modelled here by one personalised all-to-all.
 
+Strategies return their assignment as a pair of parallel NumPy arrays
+``(block_ids, dest_ranks)`` — the vectorizable form the exchange planner
+consumes: per rank, every block's destination is resolved with one
+``np.searchsorted`` over the id-sorted assignment, the movers are grouped by
+destination with one stable ``argsort``/``bincount`` pass, and the per-
+destination send lists are sliced out of the grouped order — no per-block
+dict lookups anywhere on the planning path.  The per-destination payload
+lists carry blocks in exactly the order the historical dict-based planner
+produced (input order within each destination), so the exchange's payload
+bytes and modelled seconds are unchanged.
+
 Two strategies from the paper are provided, plus the no-op:
 
 * :class:`RandomShuffle` — each process receives a random set of blocks (the
@@ -32,6 +43,10 @@ from repro.utils.timer import Timer
 
 ScorePair = Tuple[int, float]
 
+#: A strategy's assignment: parallel ``(block_ids, dest_ranks)`` int64 arrays
+#: (ids need not be sorted; blocks not listed stay with their current rank).
+OwnerAssignment = Tuple[np.ndarray, np.ndarray]
+
 
 class RedistributionStrategy(abc.ABC):
     """Computes the target owner of every block."""
@@ -44,8 +59,8 @@ class RedistributionStrategy(abc.ABC):
         sorted_pairs: Sequence[ScorePair],
         nranks: int,
         iteration: int,
-    ) -> Dict[int, int]:
-        """Return the mapping block id -> destination rank."""
+    ) -> OwnerAssignment:
+        """Return the assignment as parallel ``(block_ids, dest_ranks)`` arrays."""
 
     def redistribute(
         self,
@@ -61,7 +76,14 @@ class RedistributionStrategy(abc.ABC):
         bytes).
         """
         nranks = comm.nranks
-        owners = self.assign_owners(sorted_pairs, nranks, iteration)
+        assigned_ids, assigned_dests = self.assign_owners(
+            sorted_pairs, nranks, iteration
+        )
+        assigned_ids = np.asarray(assigned_ids, dtype=np.int64)
+        assigned_dests = np.asarray(assigned_dests, dtype=np.int64)
+        order = np.argsort(assigned_ids, kind="stable")
+        ids_sorted = assigned_ids[order]
+        dests_sorted = assigned_dests[order]
         before = comm.communication_seconds()
         with Timer() as timer:
             send_lists: List[List[object]] = [
@@ -71,17 +93,42 @@ class RedistributionStrategy(abc.ABC):
             moved_bytes = 0
             moved_blocks = 0
             for rank, blocks in enumerate(per_rank_blocks):
-                outgoing: Dict[int, List[Block]] = {}
-                for block in blocks:
-                    dest = owners.get(block.block_id, rank)
-                    if dest == rank:
-                        kept[rank].append(block.with_owner(rank))
-                    else:
-                        outgoing.setdefault(dest, []).append(block.with_owner(dest))
-                        moved_bytes += block.nbytes
-                        moved_blocks += 1
-                for dest, payload in outgoing.items():
-                    send_lists[rank][dest] = payload
+                if not blocks:
+                    continue
+                block_ids = np.fromiter(
+                    (b.block_id for b in blocks), dtype=np.int64, count=len(blocks)
+                )
+                if ids_sorted.size:
+                    pos = np.minimum(
+                        np.searchsorted(ids_sorted, block_ids), ids_sorted.size - 1
+                    )
+                    assigned = ids_sorted[pos] == block_ids
+                    dest = np.where(assigned, dests_sorted[pos], rank)
+                else:
+                    dest = np.full(len(blocks), rank, dtype=np.int64)
+                staying = dest == rank
+                kept[rank] = [
+                    blocks[i] if blocks[i].owner == rank else blocks[i].with_owner(rank)
+                    for i in np.flatnonzero(staying)
+                ]
+                movers = np.flatnonzero(~staying)
+                if not movers.size:
+                    continue
+                mover_dest = dest[movers]
+                # Stable sort groups movers by destination while preserving
+                # input order within each destination (the order the payload
+                # lists have always carried).
+                grouped = movers[np.argsort(mover_dest, kind="stable")]
+                counts = np.bincount(mover_dest, minlength=nranks)
+                bounds = np.concatenate(([0], np.cumsum(counts)))
+                for dest_rank in np.flatnonzero(counts):
+                    payload = [
+                        blocks[i].with_owner(int(dest_rank))
+                        for i in grouped[bounds[dest_rank] : bounds[dest_rank + 1]]
+                    ]
+                    send_lists[rank][dest_rank] = payload
+                moved_blocks += int(movers.size)
+                moved_bytes += int(sum(blocks[i].nbytes for i in movers))
             received = comm.alltoallv(send_lists)
             new_blocks: List[List[Block]] = []
             for rank in range(nranks):
@@ -109,8 +156,9 @@ class NoRedistribution(RedistributionStrategy):
 
     def assign_owners(
         self, sorted_pairs: Sequence[ScorePair], nranks: int, iteration: int
-    ) -> Dict[int, int]:
-        return {}
+    ) -> OwnerAssignment:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
 
     def redistribute(
         self,
@@ -119,9 +167,25 @@ class NoRedistribution(RedistributionStrategy):
         sorted_pairs: Sequence[ScorePair],
         iteration: int,
     ) -> Tuple[List[List[Block]], Dict[str, float]]:
-        # Skip the exchange entirely: no communication, no cost.
-        info = {"measured": 0.0, "modelled": 0.0, "moved_bytes": 0.0, "moved_blocks": 0.0}
-        return [list(blocks) for blocks in per_rank_blocks], info
+        # Skip the exchange entirely (no communication, no modelled cost),
+        # but refresh the owner metadata exactly like the exchanging path
+        # does for kept blocks — every strategy leaves ``block.owner`` equal
+        # to the rank that actually holds the block.
+        with Timer() as timer:
+            out = [
+                [
+                    block if block.owner == rank else block.with_owner(rank)
+                    for block in blocks
+                ]
+                for rank, blocks in enumerate(per_rank_blocks)
+            ]
+        info = {
+            "measured": timer.elapsed,
+            "modelled": 0.0,
+            "moved_bytes": 0.0,
+            "moved_blocks": 0.0,
+        }
+        return out, info
 
 
 class RandomShuffle(RedistributionStrategy):
@@ -134,16 +198,22 @@ class RandomShuffle(RedistributionStrategy):
 
     def assign_owners(
         self, sorted_pairs: Sequence[ScorePair], nranks: int, iteration: int
-    ) -> Dict[int, int]:
+    ) -> OwnerAssignment:
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
-        block_ids = sorted(block_id for block_id, _ in sorted_pairs)
-        nblocks = len(block_ids)
+        nblocks = len(sorted_pairs)
+        block_ids = np.sort(
+            np.fromiter(
+                (block_id for block_id, _ in sorted_pairs),
+                dtype=np.int64,
+                count=nblocks,
+            )
+        )
         # Constant number of blocks per process: deal rank labels then shuffle.
-        labels = np.array([i % nranks for i in range(nblocks)], dtype=np.int64)
+        labels = np.arange(nblocks, dtype=np.int64) % nranks
         rng = rng_from_seed(derive_seed(self.seed, "shuffle", iteration))
         rng.shuffle(labels)
-        return {bid: int(lbl) for bid, lbl in zip(block_ids, labels)}
+        return block_ids, labels
 
 
 class RoundRobin(RedistributionStrategy):
@@ -153,14 +223,20 @@ class RoundRobin(RedistributionStrategy):
 
     def assign_owners(
         self, sorted_pairs: Sequence[ScorePair], nranks: int, iteration: int
-    ) -> Dict[int, int]:
+    ) -> OwnerAssignment:
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
-        owners: Dict[int, int] = {}
-        # sorted_pairs is ascending; the paper deals from the highest score.
-        for position, (block_id, _score) in enumerate(reversed(list(sorted_pairs))):
-            owners[block_id] = position % nranks
-        return owners
+        nblocks = len(sorted_pairs)
+        block_ids = np.fromiter(
+            (block_id for block_id, _ in sorted_pairs),
+            dtype=np.int64,
+            count=nblocks,
+        )
+        # sorted_pairs is ascending; the paper deals from the highest score,
+        # so the block at ascending index i sits at dealing position
+        # nblocks - 1 - i.
+        dests = (nblocks - 1 - np.arange(nblocks, dtype=np.int64)) % nranks
+        return block_ids, dests
 
 
 class RedistributionStep:

@@ -4,21 +4,49 @@ Given the globally sorted ``<id, score>`` list (identical on every rank) and
 the percentage ``p``, the ``p``% blocks with the lowest scores are reduced to
 2×2×2 corner blocks.  Every rank takes the same decision locally, then reduces
 only the blocks it owns.
+
+Like scoring and rendering, the step comes in three implementations of one
+contract, selected through the backend registry:
+
+* :class:`ReductionStep` — the reference loop: every block is tested against
+  the reduced-id set and reduced one :func:`~repro.grid.reduction.reduce_block`
+  call at a time;
+* :class:`VectorizedReductionStep` — the selected blocks of *all* ranks are
+  grouped by payload shape/dtype (the
+  :func:`~repro.grid.batch.group_positions_by_shape` key every stacked hot
+  path shares) and each group's corners are gathered with one
+  :func:`~repro.grid.reduction.reduce_to_corners_batch` fancy-index pass;
+* :class:`ParallelReductionStep` — the per-rank batched pass fanned out over
+  a ``concurrent.futures`` thread pool across ranks.
+
+All backends produce bitwise-identical reduced payloads and modelled seconds
+(the modelled cost is derived from
+:attr:`~repro.perfmodel.platform.PlatformModel.seconds_per_reduced_block`);
+measured wall-clock is the one quantity that legitimately differs.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Set, Tuple
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.core.step import IterationContext, StepReport
+from repro.grid.batch import group_positions_by_shape
 from repro.grid.block import Block
-from repro.grid.reduction import reduce_block
+from repro.grid.reduction import reduce_block, reduce_to_corners_batch
+from repro.perfmodel.platform import PlatformModel
+from repro.utils.pool import LazyThreadPool
 from repro.utils.timer import Timer
 
 ScorePair = Tuple[int, float]
 
-#: Modelled cost of reducing one block (a strided copy of 8 values).
+#: Default modelled cost of reducing one block (a strided copy of 8 values);
+#: used when the step is built without a platform model.  Engine-built steps
+#: derive the coefficient from ``PlatformModel.seconds_per_reduced_block``
+#: (same default), exactly like scoring and rendering derive their costs.
 SECONDS_PER_REDUCED_BLOCK = 2.0e-6
 
 
@@ -41,9 +69,24 @@ def select_blocks_to_reduce(sorted_pairs: Sequence[ScorePair], percent: float) -
 
 
 class ReductionStep:
-    """Reduces the selected blocks on every rank."""
+    """Reduces the selected blocks on every rank (per-block reference loop).
+
+    ``platform`` supplies the modelled per-reduced-block cost
+    (:meth:`~repro.perfmodel.platform.PlatformModel.reduction_seconds`); when
+    omitted the step falls back to :data:`SECONDS_PER_REDUCED_BLOCK`, which is
+    also the platform's default, so modelled figures are identical either way.
+    """
 
     name = "reduction"
+
+    def __init__(self, platform: Optional[PlatformModel] = None) -> None:
+        self.platform = platform
+
+    def _reduction_seconds(self, nreduced: int) -> float:
+        """Modelled seconds for one rank to reduce ``nreduced`` blocks."""
+        if self.platform is not None:
+            return self.platform.reduction_seconds(nreduced)
+        return nreduced * SECONDS_PER_REDUCED_BLOCK
 
     def run(
         self,
@@ -75,7 +118,7 @@ class ReductionStep:
                         new_blocks.append(block)
             out.append(new_blocks)
             measured.append(timer.elapsed)
-            modelled.append(reduced_count * SECONDS_PER_REDUCED_BLOCK)
+            modelled.append(self._reduction_seconds(reduced_count))
         info = {
             "measured_per_rank": measured,
             "modelled_per_rank": modelled,
@@ -98,3 +141,162 @@ class ReductionStep:
             modelled_per_rank=list(info["modelled_per_rank"]),
             counters={"nreduced": float(info["nreduced"])},
         )
+
+
+class VectorizedReductionStep(ReductionStep):
+    """Reduces the selected blocks of all ranks in shape-grouped batches.
+
+    The reduction is embarrassingly parallel, so — like the vectorised
+    scoring step — the batch spans *across* ranks: every selected block of
+    the iteration is grouped by payload shape/dtype, each group's payloads
+    are stacked, and the corner values of the whole group are gathered with
+    one :func:`~repro.grid.reduction.reduce_to_corners_batch` fancy-index
+    pass (bitwise equal to :func:`~repro.grid.reduction.reduce_to_corners`
+    per block).  A typical iteration has exactly one group: the full-block
+    shape of the decomposition.
+
+    Measured wall-clock of the single pass is attributed to ranks
+    proportionally to their selected-block counts (the convention the
+    vectorised scoring step set); modelled per-rank seconds are computed
+    exactly as in the serial step.
+    """
+
+    name = "reduction"
+
+    def _selected_positions(
+        self, blocks: Sequence[Block], reduced_ids: Set[int]
+    ) -> List[int]:
+        """Positions of the blocks the decision set selects (one scan)."""
+        return [
+            i for i, block in enumerate(blocks) if block.block_id in reduced_ids
+        ]
+
+    def _apply_selected(
+        self, blocks: Sequence[Block], selected: Sequence[int]
+    ) -> List[Block]:
+        """Reduced copies of ``blocks[selected]``, batched by shape.
+
+        Already-reduced blocks among the selection are left as-is (the same
+        no-op :func:`~repro.grid.reduction.reduce_block` performs); the rest
+        are grouped by payload shape/dtype and corner-gathered per group.
+        """
+        out = list(blocks)
+        targets = [i for i in selected if not blocks[i].reduced]
+        if not targets:
+            return out
+        for positions in group_positions_by_shape([blocks[i] for i in targets]):
+            indices = [targets[p] for p in positions]
+            stacked = np.stack([blocks[i].data for i in indices])
+            corners = reduce_to_corners_batch(stacked)
+            for row, i in enumerate(indices):
+                out[i] = blocks[i].with_corner_payload(corners[row])
+        return out
+
+    def run(
+        self,
+        per_rank_blocks: Sequence[Sequence[Block]],
+        sorted_pairs: Sequence[ScorePair],
+        percent: float,
+    ) -> Tuple[List[List[Block]], Set[int], Dict[str, object]]:
+        """Reduce every rank's selected blocks in one cross-rank pass."""
+        reduced_ids = select_blocks_to_reduce(sorted_pairs, percent)
+        with Timer() as timer:
+            all_blocks: List[Block] = []
+            rank_slices: List[Tuple[int, int]] = []
+            rank_selected: List[List[int]] = []
+            for blocks in per_rank_blocks:
+                offset = len(all_blocks)
+                rank_slices.append((offset, offset + len(blocks)))
+                rank_selected.append(
+                    [offset + i for i in self._selected_positions(blocks, reduced_ids)]
+                )
+                all_blocks.extend(blocks)
+            selected = [i for positions in rank_selected for i in positions]
+            new_all = self._apply_selected(all_blocks, selected)
+        elapsed = timer.elapsed
+
+        out: List[List[Block]] = []
+        measured: List[float] = []
+        modelled: List[float] = []
+        rank_counts = [len(positions) for positions in rank_selected]
+        total_count = sum(rank_counts)
+        for (lo, hi), reduced_count in zip(rank_slices, rank_counts):
+            out.append(new_all[lo:hi])
+            measured.append(
+                elapsed * (reduced_count / total_count) if total_count else 0.0
+            )
+            modelled.append(self._reduction_seconds(reduced_count))
+        info = {
+            "measured_per_rank": measured,
+            "modelled_per_rank": modelled,
+            "measured_max": max(measured) if measured else 0.0,
+            "modelled_max": max(modelled) if modelled else 0.0,
+            "nreduced": len(reduced_ids),
+        }
+        return out, reduced_ids, info
+
+
+class ParallelReductionStep(VectorizedReductionStep):
+    """The batched reduction pass fanned out over a thread pool across ranks.
+
+    Ranks reduce independently (the decision set is already global), so the
+    pool maps whole ranks to workers, each worker running the per-rank
+    shape-grouped batch pass of :class:`VectorizedReductionStep`.  Per-rank
+    ``measured`` seconds are each task's own wall-clock (tasks run
+    concurrently, so their sum exceeds the step's elapsed time); everything
+    decision-bearing is bitwise identical to the other backends.
+    """
+
+    name = "reduction"
+
+    def __init__(
+        self,
+        platform: Optional[PlatformModel] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        super().__init__(platform)
+        self._workers = LazyThreadPool(
+            max_workers, thread_name_prefix="reduction-worker"
+        )
+        self.max_workers = self._workers.max_workers
+
+    @property
+    def pool(self) -> ThreadPoolExecutor:
+        """The step's worker pool, created on first use and reused across
+        iterations (the step lives as long as its engine)."""
+        return self._workers.executor
+
+    def run(
+        self,
+        per_rank_blocks: Sequence[Sequence[Block]],
+        sorted_pairs: Sequence[ScorePair],
+        percent: float,
+    ) -> Tuple[List[List[Block]], Set[int], Dict[str, object]]:
+        """Reduce every rank's selected blocks, one pool task per rank."""
+        reduced_ids = select_blocks_to_reduce(sorted_pairs, percent)
+
+        def reduce_rank(
+            blocks: Sequence[Block],
+        ) -> Tuple[List[Block], int, float]:
+            with Timer() as timer:
+                selected = self._selected_positions(blocks, reduced_ids)
+                new_blocks = self._apply_selected(blocks, selected)
+            return new_blocks, len(selected), timer.elapsed
+
+        out: List[List[Block]] = []
+        measured: List[float] = []
+        modelled: List[float] = []
+        for new_blocks, reduced_count, elapsed in self.pool.map(
+            reduce_rank, per_rank_blocks
+        ):
+            out.append(new_blocks)
+            measured.append(elapsed)
+            modelled.append(self._reduction_seconds(reduced_count))
+        info = {
+            "measured_per_rank": measured,
+            "modelled_per_rank": modelled,
+            "measured_max": max(measured) if measured else 0.0,
+            "modelled_max": max(modelled) if modelled else 0.0,
+            "nreduced": len(reduced_ids),
+        }
+        return out, reduced_ids, info

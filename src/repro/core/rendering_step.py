@@ -27,7 +27,6 @@ seconds — measured wall-clock is the one quantity that legitimately differs.
 
 from __future__ import annotations
 
-import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -37,6 +36,7 @@ from repro.core.step import IterationContext, StepReport
 from repro.grid.batch import group_positions_by_shape
 from repro.grid.block import Block
 from repro.perfmodel.platform import PlatformModel
+from repro.utils.pool import LazyThreadPool
 from repro.utils.timer import Timer
 from repro.viz.catalyst import CatalystPipeline, IsosurfaceScript, RenderResult
 from repro.viz.mesh import TriangleMesh
@@ -213,21 +213,16 @@ class ParallelRenderingStep(VectorizedRenderingStep):
             render_mode=render_mode,
             render_image=render_image,
         )
-        if max_workers is not None and max_workers < 1:
-            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
-        self.max_workers = int(max_workers or min(16, os.cpu_count() or 1))
-        self._pool: Optional[ThreadPoolExecutor] = None
+        self._workers = LazyThreadPool(
+            max_workers, thread_name_prefix="rendering-worker"
+        )
+        self.max_workers = self._workers.max_workers
 
     @property
     def pool(self) -> ThreadPoolExecutor:
         """The step's worker pool, created on first use and reused across
         iterations (the step lives as long as its engine)."""
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.max_workers,
-                thread_name_prefix="rendering-worker",
-            )
-        return self._pool
+        return self._workers.executor
 
     def _render_all(
         self, per_rank_blocks: Sequence[Sequence[Block]], iteration: int

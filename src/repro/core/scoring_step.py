@@ -27,7 +27,6 @@ any backend without perturbing any downstream decision.
 
 from __future__ import annotations
 
-import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -38,6 +37,7 @@ from repro.grid.batch import group_positions_by_shape
 from repro.grid.block import Block
 from repro.metrics.base import ScoreMetric
 from repro.perfmodel.platform import PlatformModel
+from repro.utils.pool import LazyThreadPool
 from repro.utils.timer import Timer
 
 ScorePair = Tuple[int, float]
@@ -247,21 +247,14 @@ class ParallelScoringStep(VectorizedScoringStep):
         max_workers: Optional[int] = None,
     ) -> None:
         super().__init__(metric, platform)
-        if max_workers is not None and max_workers < 1:
-            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
-        self.max_workers = int(max_workers or min(16, os.cpu_count() or 1))
-        self._pool: Optional[ThreadPoolExecutor] = None
+        self._workers = LazyThreadPool(max_workers, thread_name_prefix="scoring-worker")
+        self.max_workers = self._workers.max_workers
 
     @property
     def pool(self) -> ThreadPoolExecutor:
         """The step's worker pool, created on first use and reused across
         iterations (the step lives as long as its engine)."""
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.max_workers,
-                thread_name_prefix="scoring-worker",
-            )
-        return self._pool
+        return self._workers.executor
 
     def _chunks(self, indices: List[int]) -> List[List[int]]:
         """Split ``indices`` into at most ``2 * max_workers`` contiguous chunks."""

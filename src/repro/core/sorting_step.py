@@ -5,6 +5,24 @@ block id) and the sorted list is broadcast back to every process, so each
 process knows the scores of all blocks — including those belonging to other
 processes — and can take identical reduction/redistribution decisions without
 further communication.
+
+Two implementations of the contract are provided, selected through the
+backend registry:
+
+* :class:`SortingStep` — the reference gather–sort–broadcast over Python
+  tuples (:func:`~repro.simmpi.sort.parallel_sort_pairs`);
+* :class:`VectorizedSortingStep` — the same collective with the root's sort
+  done by ``np.lexsort`` over the gathered ``(score, id)`` arrays
+  (:func:`~repro.simmpi.sort.parallel_sort_pairs_numpy`).  The communication
+  payloads are identical byte for byte, so ``StepReport.modelled`` and
+  ``payload_bytes`` are unchanged, and the sorted list is bitwise equal.
+  The parallel backend uses this implementation too: the sort is a rooted
+  collective, so there is no per-rank work to fan out over a pool.
+
+Whatever the implementation, the step verifies that every rank holds the
+identical sorted list after the broadcast — downstream reduction and
+redistribution decisions silently diverge otherwise, so a future sort
+backend that breaks the invariant fails loudly here instead.
 """
 
 from __future__ import annotations
@@ -13,7 +31,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.core.step import IterationContext, StepReport
 from repro.simmpi.communicator import BSPCommunicator
-from repro.simmpi.sort import parallel_sort_pairs
+from repro.simmpi.sort import parallel_sort_pairs, parallel_sort_pairs_numpy
 from repro.utils.timer import Timer
 
 ScorePair = Tuple[int, float]
@@ -26,6 +44,47 @@ class SortingStep:
 
     def __init__(self, comm: BSPCommunicator) -> None:
         self.comm = comm
+
+    def _sort(
+        self, per_rank_pairs: Sequence[Sequence[ScorePair]]
+    ) -> List[List[ScorePair]]:
+        """Per-rank sorted lists (the backend hook)."""
+        return parallel_sort_pairs(self.comm, per_rank_pairs)
+
+    @staticmethod
+    def _require_rank_agreement(
+        per_rank_sorted: Sequence[List[ScorePair]],
+    ) -> List[ScorePair]:
+        """The (verified) common sorted list every rank holds.
+
+        The whole downstream pipeline rests on every rank taking identical
+        reduction/redistribution decisions from *its own* copy of the sorted
+        list; a sort backend that hands different ranks different lists would
+        corrupt results silently, so the comparison is complete — every rank,
+        every pair.  Backends that share one broadcast buffer (the NumPy
+        path) pass by identity in O(nranks); the reference path's distinct
+        per-rank copies pay one full list comparison per rank, a cost that
+        belongs to materialising per-rank copies in the first place.
+        """
+        reference = per_rank_sorted[0]
+        for rank, pairs in enumerate(per_rank_sorted):
+            if pairs is reference or pairs == reference:
+                continue
+            if len(pairs) != len(reference):
+                raise RuntimeError(
+                    f"sorting backend produced diverging per-rank lists: rank "
+                    f"{rank} holds {len(pairs)} pairs, rank 0 holds "
+                    f"{len(reference)}"
+                )
+            position = next(
+                i for i, (a, b) in enumerate(zip(pairs, reference)) if a != b
+            )
+            raise RuntimeError(
+                f"sorting backend produced diverging per-rank lists: rank "
+                f"{rank} disagrees with rank 0 at position {position}: "
+                f"{pairs[position]} vs {reference[position]}"
+            )
+        return reference
 
     def run(
         self, per_rank_pairs: Sequence[Sequence[ScorePair]]
@@ -41,9 +100,9 @@ class SortingStep:
         """
         before = self.comm.communication_seconds()
         with Timer() as timer:
-            per_rank_sorted = parallel_sort_pairs(self.comm, per_rank_pairs)
+            per_rank_sorted = self._sort(per_rank_pairs)
         modelled = self.comm.communication_seconds() - before
-        sorted_pairs = per_rank_sorted[0]
+        sorted_pairs = self._require_rank_agreement(per_rank_sorted)
         info = {"measured": timer.elapsed, "modelled": modelled}
         return sorted_pairs, info
 
@@ -60,3 +119,20 @@ class SortingStep:
             payload_bytes=float(payload),
             counters={"npairs": float(len(sorted_pairs))},
         )
+
+
+class VectorizedSortingStep(SortingStep):
+    """Sorting through the NumPy gather–lexsort–broadcast path.
+
+    Bitwise-identical sorted list, identical modelled communication seconds
+    and payload bytes (the wire format is unchanged); the root's Python
+    ``sorted`` over tuples and the per-rank list materialisation collapse
+    into one ``np.lexsort`` and a single shared result list.
+    """
+
+    name = "sorting"
+
+    def _sort(
+        self, per_rank_pairs: Sequence[Sequence[ScorePair]]
+    ) -> List[List[ScorePair]]:
+        return parallel_sort_pairs_numpy(self.comm, per_rank_pairs)

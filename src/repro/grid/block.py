@@ -164,6 +164,24 @@ class Block:
         """Return a copy of the block carrying a new payload."""
         return replace(self, data=np.asarray(data), reduced=bool(reduced))
 
+    def with_corner_payload(self, corners: np.ndarray) -> "Block":
+        """Return a reduced copy carrying 2×2×2 ``corners`` (fast path).
+
+        Equivalent to ``with_data(corners, reduced=True)`` but skipping the
+        dataclass ``replace``/re-validation machinery: the only constraint a
+        reduced block carries is the (2, 2, 2) payload shape, checked here
+        directly.  This is the clone the batched reduction step performs once
+        per reduced block per iteration, where ``replace``'s overhead is the
+        hot path's dominant cost (rows of a ``reduce_to_corners_batch``
+        result are already validated by construction).
+        """
+        corners = np.asarray(corners)
+        if corners.shape != (2, 2, 2):
+            raise ValueError(
+                f"reduced block data must have shape (2, 2, 2), got {corners.shape}"
+            )
+        return self._clone_with(data=corners, reduced=True)
+
     def value_range(self) -> Tuple[float, float]:
         """(min, max) of the payload values."""
         return (float(self.data.min()), float(self.data.max()))

@@ -34,6 +34,11 @@ class PlatformModel:
     metric_costs:
         Optional per-metric cost overrides; metrics not listed fall back to
         their class-level calibrated cost.
+    seconds_per_reduced_block:
+        Modelled cost of reducing one block to its 8 corner values (a strided
+        copy of 8 values); the reduction step prices its work through
+        :meth:`reduction_seconds` exactly like scoring and rendering price
+        theirs through the platform.
     """
 
     name: str
@@ -41,10 +46,16 @@ class PlatformModel:
     network: NetworkCostModel = field(default_factory=NetworkCostModel.blue_waters)
     render: RenderCostModel = field(default_factory=RenderCostModel)
     metric_costs: Mapping[str, MetricCost] = field(default_factory=dict)
+    seconds_per_reduced_block: float = 2.0e-6
 
     def __post_init__(self) -> None:
         if self.ncores < 1:
             raise ValueError(f"ncores must be >= 1, got {self.ncores}")
+        if self.seconds_per_reduced_block < 0:
+            raise ValueError(
+                f"seconds_per_reduced_block must be >= 0, "
+                f"got {self.seconds_per_reduced_block}"
+            )
 
     # -- scoring cost ----------------------------------------------------------
 
@@ -59,6 +70,14 @@ class PlatformModel:
             raise ValueError("work counts must be >= 0")
         cost = self.metric_cost(metric)
         return cost.per_point * npoints_per_rank + cost.per_block * nblocks_per_rank
+
+    # -- reduction cost --------------------------------------------------------
+
+    def reduction_seconds(self, nreduced_per_rank: int) -> float:
+        """Modelled seconds for one rank to corner-reduce its selected blocks."""
+        if nreduced_per_rank < 0:
+            raise ValueError("work counts must be >= 0")
+        return self.seconds_per_reduced_block * nreduced_per_rank
 
     # -- presets -----------------------------------------------------------------
 
@@ -106,4 +125,5 @@ class PlatformModel:
             network=self.network,
             render=render,
             metric_costs=dict(self.metric_costs),
+            seconds_per_reduced_block=self.seconds_per_reduced_block,
         )

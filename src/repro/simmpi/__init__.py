@@ -26,7 +26,11 @@ from repro.simmpi.communicator import BSPCommunicator
 from repro.simmpi.runtime import SimRuntime
 from repro.simmpi.rankcomm import RankCommunicator
 from repro.simmpi.requests import Request
-from repro.simmpi.sort import parallel_sort_pairs, sample_sort
+from repro.simmpi.sort import (
+    parallel_sort_pairs,
+    parallel_sort_pairs_numpy,
+    sample_sort,
+)
 
 __all__ = [
     "NetworkCostModel",
@@ -36,5 +40,6 @@ __all__ = [
     "RankCommunicator",
     "Request",
     "parallel_sort_pairs",
+    "parallel_sort_pairs_numpy",
     "sample_sort",
 ]

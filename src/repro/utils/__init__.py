@@ -2,6 +2,7 @@
 
 from repro.utils.timer import Timer, StepTimings
 from repro.utils.histogram import fixed_range_histogram, probabilities, shannon_entropy
+from repro.utils.pool import LazyThreadPool
 from repro.utils.random import rng_from_seed, derive_seed
 from repro.utils.validation import (
     ensure_3d,
@@ -13,6 +14,7 @@ from repro.utils.validation import (
 __all__ = [
     "Timer",
     "StepTimings",
+    "LazyThreadPool",
     "fixed_range_histogram",
     "probabilities",
     "shannon_entropy",

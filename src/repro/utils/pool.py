@@ -1,0 +1,48 @@
+"""Shared lazy thread-pool helper for the parallel pipeline steps."""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Iterator, Optional, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class LazyThreadPool:
+    """A validated, lazily created, long-lived ``ThreadPoolExecutor``.
+
+    The parallel steps (scoring, reduction, rendering) all need the same
+    worker-pool plumbing: validate the worker count once, create the
+    executor on first use, and reuse it for the owner's lifetime (a step
+    lives as long as its engine).  This helper is that plumbing, written
+    once.  Threads are the right pool for these steps: their NumPy-heavy
+    work releases the GIL, and threads share the block payloads for free
+    where a process pool would pickle every payload.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        thread_name_prefix: str = "worker",
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = int(max_workers or min(16, os.cpu_count() or 1))
+        self.thread_name_prefix = thread_name_prefix
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    @property
+    def executor(self) -> ThreadPoolExecutor:
+        """The pool, created on first use and reused thereafter."""
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.max_workers,
+                thread_name_prefix=self.thread_name_prefix,
+            )
+        return self._executor
+
+    def map(self, fn: Callable[..., R], *iterables: Iterable) -> Iterator[R]:
+        """``executor.map`` over the lazily created pool."""
+        return self.executor.map(fn, *iterables)

@@ -5,8 +5,23 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core import backends as backends_module
+from repro.core.backends import (
+    STEP_NAMES,
+    StepBuildContext,
+    build_step,
+    engine_backends,
+    register_step_backend,
+    registered_steps,
+    resolve_step_factory,
+)
 from repro.core.config import AdaptationConfig, PipelineConfig
 from repro.core.engine import ENGINE_BACKENDS, ExecutionEngine
+from repro.core.reduction_step import (
+    ParallelReductionStep,
+    ReductionStep,
+    VectorizedReductionStep,
+)
 from repro.core.rendering_step import (
     ParallelRenderingStep,
     RenderingStep,
@@ -17,6 +32,7 @@ from repro.core.scoring_step import (
     ScoringStep,
     VectorizedScoringStep,
 )
+from repro.core.sorting_step import SortingStep, VectorizedSortingStep
 from repro.core.step import IterationContext, PipelineStep, StepReport
 from repro.perfmodel.platform import PlatformModel
 
@@ -88,20 +104,130 @@ class TestEngineConstruction:
         assert type(vector.rendering) is VectorizedRenderingStep
         assert type(par.rendering) is ParallelRenderingStep
 
+    def test_backend_selects_sorting_step(self):
+        platform = PlatformModel.blue_waters(4)
+        serial = ExecutionEngine(PipelineConfig(engine="serial"), platform)
+        vector = ExecutionEngine(PipelineConfig(engine="vectorized"), platform)
+        par = ExecutionEngine(PipelineConfig(engine="parallel"), platform)
+        assert type(serial.sorting) is SortingStep
+        # The sort is a rooted collective: vectorized and parallel share the
+        # NumPy lexsort path.
+        assert type(vector.sorting) is VectorizedSortingStep
+        assert type(par.sorting) is VectorizedSortingStep
+
+    def test_backend_selects_reduction_step(self):
+        platform = PlatformModel.blue_waters(4)
+        serial = ExecutionEngine(PipelineConfig(engine="serial"), platform)
+        vector = ExecutionEngine(PipelineConfig(engine="vectorized"), platform)
+        par = ExecutionEngine(PipelineConfig(engine="parallel"), platform)
+        assert type(serial.reduction) is ReductionStep
+        assert type(vector.reduction) is VectorizedReductionStep
+        assert type(par.reduction) is ParallelReductionStep
+        # The step derives its modelled cost from the engine's platform.
+        assert vector.reduction.platform is platform
+
     def test_steps_satisfy_protocol(self):
         engine = ExecutionEngine(PipelineConfig(), PlatformModel.blue_waters(4))
-        assert [step.name for step in engine.steps] == [
-            "scoring",
-            "sorting",
-            "reduction",
-            "redistribution",
-            "rendering",
-        ]
+        assert [step.name for step in engine.steps] == list(STEP_NAMES)
         for step in engine.steps:
             assert isinstance(step, PipelineStep)
 
     def test_backends_constant(self):
         assert ENGINE_BACKENDS == ("serial", "vectorized", "parallel")
+
+
+class TestBackendRegistry:
+    """The registry is the single source of step implementations."""
+
+    @pytest.fixture(autouse=True)
+    def _cleanup_custom_backend(self):
+        """Remove any test-registered backend so registrations don't leak."""
+        yield
+        for key in [k for k in backends_module._REGISTRY if k[1] == "warp10"]:
+            del backends_module._REGISTRY[key]
+        if "warp10" in backends_module._BACKEND_ORDER:
+            backends_module._BACKEND_ORDER.remove("warp10")
+
+    def test_engine_backends_derived_from_registry(self):
+        assert engine_backends() == ("serial", "vectorized", "parallel")
+        register_step_backend(
+            "scoring", "warp10", lambda ctx: ScoringStep(ctx.metric, ctx.platform)
+        )
+        assert engine_backends() == ("serial", "vectorized", "parallel", "warp10")
+        # The config/engine re-exports see the registration too.
+        from repro.core import config as config_module
+        from repro.core import engine as engine_module
+
+        assert config_module.ENGINE_BACKENDS == engine_backends()
+        assert engine_module.ENGINE_BACKENDS == engine_backends()
+
+    def test_every_builtin_step_registered_per_backend(self):
+        for backend in ("serial", "vectorized", "parallel"):
+            assert set(registered_steps(backend)) == set(STEP_NAMES)
+
+    def test_resolve_unknown_step_raises(self):
+        with pytest.raises(KeyError):
+            resolve_step_factory("composition", "serial")
+
+    def test_third_party_backend_with_serial_fallback(self, tiny_scenario):
+        """A backend registering only one step is selectable; the other steps
+        fall back to the serial reference implementations."""
+
+        class TracingScoringStep(ScoringStep):
+            pass
+
+        register_step_backend(
+            "scoring",
+            "warp10",
+            lambda ctx: TracingScoringStep(ctx.metric, ctx.platform),
+        )
+        config = PipelineConfig(engine="warp10", redistribution="round_robin")
+        engine = ExecutionEngine(
+            config, tiny_scenario.platform, nranks=tiny_scenario.nranks
+        )
+        assert type(engine.scoring) is TracingScoringStep
+        assert type(engine.sorting) is SortingStep
+        assert type(engine.reduction) is ReductionStep
+        assert type(engine.rendering) is RenderingStep
+        # And the engine actually runs with the hybrid step set.
+        context = engine.run_iteration(tiny_scenario.blocks_for(0), 25.0, 0)
+        assert set(context.reports) == set(STEP_NAMES)
+
+    def test_decorator_registration(self):
+        @register_step_backend("scoring", "warp10")
+        def make_scoring(ctx):
+            return ScoringStep(ctx.metric, ctx.platform)
+
+        assert resolve_step_factory("scoring", "warp10") is make_scoring
+        assert "warp10" in engine_backends()
+
+    def test_registration_validates_names(self):
+        with pytest.raises(ValueError):
+            register_step_backend("", "gpu", lambda ctx: None)
+        with pytest.raises(ValueError):
+            register_step_backend("scoring", "  ", lambda ctx: None)
+
+    def test_build_step_uses_context(self, tiny_scenario):
+        from repro.core.redistribution import make_strategy
+        from repro.metrics.registry import create_metric
+        from repro.simmpi.communicator import BSPCommunicator
+
+        config = PipelineConfig()
+        comm = BSPCommunicator(
+            tiny_scenario.nranks, cost_model=tiny_scenario.platform.network
+        )
+        context = StepBuildContext(
+            config=config,
+            platform=tiny_scenario.platform,
+            comm=comm,
+            metric=create_metric("VAR"),
+            strategy=make_strategy("none"),
+            nranks=tiny_scenario.nranks,
+            backend="serial",
+        )
+        step = build_step("sorting", "serial", context)
+        assert type(step) is SortingStep
+        assert step.comm is comm
 
 
 class TestEngineExecution:

@@ -14,10 +14,21 @@ from repro.core.redistribution import (
     RoundRobin,
     make_strategy,
 )
-from repro.core.reduction_step import ReductionStep, select_blocks_to_reduce
+from repro.core.reduction_step import (
+    ParallelReductionStep,
+    ReductionStep,
+    VectorizedReductionStep,
+    select_blocks_to_reduce,
+)
 from repro.core.rendering_step import RenderingStep
 from repro.core.scoring_step import ScoringStep
-from repro.core.sorting_step import SortingStep
+from repro.core.sorting_step import SortingStep, VectorizedSortingStep
+
+
+def owners_dict(assignment):
+    """Assignment arrays as an id -> destination dict (test convenience)."""
+    block_ids, dests = assignment
+    return {int(i): int(d) for i, d in zip(block_ids, dests)}
 from repro.grid.decomposition import CartesianDecomposition
 from repro.metrics.registry import create_metric
 from repro.perfmodel.platform import PlatformModel
@@ -67,6 +78,35 @@ class TestSortingStep:
         assert len(sorted_pairs) == sum(len(p) for p in pairs)
         assert info["modelled"] >= 0
 
+    def test_numpy_backend_bitwise_identical(self, per_rank_blocks, platform):
+        """The vectorized (lexsort) sorting step returns the identical list
+        and charges the identical modelled communication seconds."""
+        scoring = ScoringStep(create_metric("VAR"), platform)
+        pairs, _, _ = scoring.run(per_rank_blocks)
+        serial_comm = BSPCommunicator(4, cost_model=platform.network)
+        numpy_comm = BSPCommunicator(4, cost_model=platform.network)
+        serial_sorted, serial_info = SortingStep(serial_comm).run(pairs)
+        numpy_sorted, numpy_info = VectorizedSortingStep(numpy_comm).run(pairs)
+        assert numpy_sorted == serial_sorted
+        assert numpy_info["modelled"] == serial_info["modelled"]
+        assert serial_comm.stats == numpy_comm.stats
+
+    def test_diverging_rank_lists_rejected(self, platform):
+        """Regression for the blind ``per_rank_sorted[0]``: a sort backend
+        that hands ranks different lists must fail loudly, not silently
+        corrupt every downstream decision."""
+
+        class BrokenSortingStep(SortingStep):
+            def _sort(self, per_rank_pairs):
+                good = [(0, 0.5), (1, 1.5)]
+                return [list(good) for _ in range(self.comm.nranks - 1)] + [
+                    [(1, 1.5), (0, 0.5)]
+                ]
+
+        comm = BSPCommunicator(4, cost_model=platform.network)
+        with pytest.raises(RuntimeError, match="diverging"):
+            BrokenSortingStep(comm).run([[(0, 0.5)], [(1, 1.5)], [], []])
+
 
 class TestReductionSelection:
     def test_zero_and_full_percent(self):
@@ -81,6 +121,18 @@ class TestReductionSelection:
     def test_percent_out_of_range(self):
         with pytest.raises(ValueError):
             select_blocks_to_reduce([], 150.0)
+        with pytest.raises(ValueError):
+            select_blocks_to_reduce([], -1.0)
+
+    def test_empty_pairs(self):
+        assert select_blocks_to_reduce([], 0.0) == set()
+        assert select_blocks_to_reduce([], 50.0) == set()
+        assert select_blocks_to_reduce([], 100.0) == set()
+
+    def test_full_percent_selects_everything(self):
+        pairs = [(i, float(i % 3)) for i in range(7)]
+        pairs = sorted(pairs, key=lambda p: (p[1], p[0]))
+        assert select_blocks_to_reduce(pairs, 100.0) == set(range(7))
 
     @settings(deadline=None, max_examples=50)
     @given(
@@ -126,6 +178,79 @@ class TestReductionSelection:
                     assert blk.data.shape == (2, 2, 2)
 
 
+class TestReductionBackends:
+    """Vectorized/parallel reduction must be bitwise identical to serial."""
+
+    def _pairs(self, per_rank_blocks):
+        return sorted(
+            [
+                (b.block_id, float(b.block_id % 5))
+                for blocks in per_rank_blocks
+                for b in blocks
+            ],
+            key=lambda p: (p[1], p[0]),
+        )
+
+    @pytest.mark.parametrize("percent", [0.0, 35.0, 100.0])
+    def test_backends_bitwise_identical(self, per_rank_blocks, platform, percent):
+        pairs = self._pairs(per_rank_blocks)
+        serial = ReductionStep(platform)
+        vector = VectorizedReductionStep(platform)
+        parallel = ParallelReductionStep(platform, max_workers=3)
+        s_out, s_ids, s_info = serial.run(per_rank_blocks, pairs, percent)
+        for step in (vector, parallel):
+            out, ids, info = step.run(per_rank_blocks, pairs, percent)
+            assert ids == s_ids
+            assert info["modelled_per_rank"] == s_info["modelled_per_rank"]
+            assert info["nreduced"] == s_info["nreduced"]
+            for s_blocks, blocks in zip(s_out, out):
+                assert [b.block_id for b in blocks] == [
+                    b.block_id for b in s_blocks
+                ]
+                for s_blk, blk in zip(s_blocks, blocks):
+                    assert blk.reduced == s_blk.reduced
+                    assert blk.data.dtype == s_blk.data.dtype
+                    np.testing.assert_array_equal(blk.data, s_blk.data)
+
+    def test_already_reduced_blocks_left_alone(self, per_rank_blocks, platform):
+        from repro.grid.reduction import reduce_block
+
+        pre_reduced = [
+            [reduce_block(b) for b in blocks] for blocks in per_rank_blocks
+        ]
+        pairs = self._pairs(per_rank_blocks)
+        for step in (
+            ReductionStep(platform),
+            VectorizedReductionStep(platform),
+            ParallelReductionStep(platform, max_workers=2),
+        ):
+            out, _, info = step.run(pre_reduced, pairs, 100.0)
+            for before, after in zip(pre_reduced, out):
+                # Reducing a reduced block is a no-op returning the block.
+                assert all(a is b for a, b in zip(after, before))
+            # The modelled cost still counts the selected blocks, as serial does.
+            assert info["modelled_per_rank"] == [
+                platform.reduction_seconds(len(blocks)) for blocks in pre_reduced
+            ]
+
+    def test_platform_derived_cost_matches_default(self, per_rank_blocks, platform):
+        """The platform's default coefficient reproduces the historical
+        hard-coded SECONDS_PER_REDUCED_BLOCK figures exactly."""
+        from repro.core.reduction_step import SECONDS_PER_REDUCED_BLOCK
+
+        assert platform.seconds_per_reduced_block == SECONDS_PER_REDUCED_BLOCK
+        pairs = self._pairs(per_rank_blocks)
+        with_platform = ReductionStep(platform)
+        without_platform = ReductionStep()
+        _, _, a = with_platform.run(per_rank_blocks, pairs, 50.0)
+        _, _, b = without_platform.run(per_rank_blocks, pairs, 50.0)
+        assert a["modelled_per_rank"] == b["modelled_per_rank"]
+
+    def test_max_workers_validated(self, platform):
+        with pytest.raises(ValueError):
+            ParallelReductionStep(platform, max_workers=0)
+
+
 class TestRedistribution:
     def _pairs(self, per_rank_blocks):
         return sorted(
@@ -140,35 +265,60 @@ class TestRedistribution:
         for original, new in zip(per_rank_blocks, out):
             assert [b.block_id for b in original] == [b.block_id for b in new]
 
+    def test_none_strategy_refreshes_owner_metadata(self, per_rank_blocks, platform):
+        """NoRedistribution leaves ``block.owner`` equal to the holding rank,
+        like the exchanging strategies do (regression: it used to return the
+        blocks untouched, so stale owners survived the step)."""
+        comm = BSPCommunicator(4, cost_model=platform.network)
+        stale = [
+            [b.with_owner((rank + 1) % 4) for b in blocks]
+            for rank, blocks in enumerate(per_rank_blocks)
+        ]
+        out, info = NoRedistribution().redistribute(
+            comm, stale, self._pairs(per_rank_blocks), 0
+        )
+        for rank, blocks in enumerate(out):
+            assert all(b.owner == rank for b in blocks)
+        assert info["modelled"] == 0.0 and info["moved_bytes"] == 0.0
+        # No communication happened: the skip really skips the exchange.
+        assert comm.stats == {}
+
+    def test_assignment_arrays_form(self):
+        pairs = [(i, float(i)) for i in range(8)]
+        for strategy in (NoRedistribution(), RandomShuffle(seed=1), RoundRobin()):
+            block_ids, dests = strategy.assign_owners(pairs, nranks=4, iteration=0)
+            assert block_ids.dtype == np.int64 and dests.dtype == np.int64
+            assert block_ids.shape == dests.shape
+
     def test_round_robin_assignment_order(self):
         pairs = [(i, float(i)) for i in range(8)]  # ascending scores
-        owners = RoundRobin().assign_owners(pairs, nranks=4, iteration=0)
+        owners = owners_dict(RoundRobin().assign_owners(pairs, nranks=4, iteration=0))
         # Highest score (id 7) goes to rank 0, next (id 6) to rank 1, ...
         assert owners[7] == 0 and owners[6] == 1 and owners[5] == 2 and owners[4] == 3
         assert owners[3] == 0
 
     def test_round_robin_counts_balanced(self):
         pairs = [(i, float(i)) for i in range(16)]
-        owners = RoundRobin().assign_owners(pairs, nranks=4, iteration=0)
+        owners = owners_dict(RoundRobin().assign_owners(pairs, nranks=4, iteration=0))
         counts = np.bincount(list(owners.values()), minlength=4)
         assert counts.max() - counts.min() <= 1
 
     def test_shuffle_same_seed_same_assignment(self):
         pairs = [(i, float(i)) for i in range(20)]
-        a = RandomShuffle(seed=5).assign_owners(pairs, 4, iteration=3)
-        b = RandomShuffle(seed=5).assign_owners(pairs, 4, iteration=3)
+        a = owners_dict(RandomShuffle(seed=5).assign_owners(pairs, 4, iteration=3))
+        b = owners_dict(RandomShuffle(seed=5).assign_owners(pairs, 4, iteration=3))
         assert a == b
 
     def test_shuffle_counts_constant_per_rank(self):
         pairs = [(i, float(i)) for i in range(20)]
-        owners = RandomShuffle(seed=1).assign_owners(pairs, 4, iteration=0)
+        owners = owners_dict(RandomShuffle(seed=1).assign_owners(pairs, 4, iteration=0))
         counts = np.bincount(list(owners.values()), minlength=4)
         assert counts.max() - counts.min() <= 1
 
     def test_shuffle_differs_across_iterations(self):
         pairs = [(i, float(i)) for i in range(40)]
-        a = RandomShuffle(seed=5).assign_owners(pairs, 4, iteration=0)
-        b = RandomShuffle(seed=5).assign_owners(pairs, 4, iteration=1)
+        a = owners_dict(RandomShuffle(seed=5).assign_owners(pairs, 4, iteration=0))
+        b = owners_dict(RandomShuffle(seed=5).assign_owners(pairs, 4, iteration=1))
         assert a != b
 
     def test_redistribute_preserves_blocks(self, per_rank_blocks, platform):
@@ -199,6 +349,25 @@ class TestRedistribution:
         assert isinstance(make_strategy("RR"), RoundRobin)
         with pytest.raises(ValueError):
             make_strategy("bogus")
+
+    def test_make_strategy_aliases(self):
+        for alias in ("no", "off", "NONE", " none "):
+            assert isinstance(make_strategy(alias), NoRedistribution)
+        for alias in ("random", "random_shuffle", "Shuffle"):
+            assert isinstance(make_strategy(alias), RandomShuffle)
+        for alias in ("rr", "roundrobin", "Round_Robin"):
+            assert isinstance(make_strategy(alias), RoundRobin)
+
+    def test_make_strategy_unknown_name_message(self):
+        with pytest.raises(ValueError, match="unknown redistribution strategy"):
+            make_strategy("hilbert")
+        with pytest.raises(ValueError, match="'none', 'shuffle' or 'round_robin'"):
+            make_strategy("")
+
+    def test_make_strategy_seed_forwarded(self):
+        strategy = make_strategy("shuffle", seed=7)
+        assert isinstance(strategy, RandomShuffle)
+        assert strategy.seed == 7
 
 
 class TestRenderingStep:

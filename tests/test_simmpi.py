@@ -10,7 +10,11 @@ from repro.simmpi.communicator import BSPCommunicator, _payload_nbytes
 from repro.simmpi.costmodel import NetworkCostModel
 from repro.simmpi.rankcomm import RankCommunicator
 from repro.simmpi.runtime import SimRuntime, SPMDError
-from repro.simmpi.sort import parallel_sort_pairs, sample_sort
+from repro.simmpi.sort import (
+    parallel_sort_pairs,
+    parallel_sort_pairs_numpy,
+    sample_sort,
+)
 from repro.simmpi.timing import VirtualClocks
 
 
@@ -369,4 +373,75 @@ class TestParallelSort:
         pairs = [(i, float(s)) for i, s in enumerate(scores)]
         per_rank = [pairs[r::nranks] for r in range(nranks)]
         out = parallel_sort_pairs(comm, per_rank)
+        assert out[0] == sorted(pairs, key=lambda p: (p[1], p[0]))
+
+
+class TestParallelSortNumpy:
+    """The lexsort path must be indistinguishable from the Python path —
+    values, types, comm calls, bytes, and modelled seconds."""
+
+    def _random_pairs(self, nranks, per_rank_count, seed=3):
+        rng = np.random.default_rng(seed)
+        per_rank = []
+        bid = 0
+        for _ in range(nranks):
+            pairs = []
+            for _ in range(per_rank_count):
+                pairs.append((bid, float(rng.integers(0, 10))))
+                bid += 1
+            per_rank.append(pairs)
+        return per_rank
+
+    def test_matches_python_path_bitwise(self):
+        per_rank = self._random_pairs(4, 5)
+        python_comm = BSPCommunicator(4)
+        numpy_comm = BSPCommunicator(4)
+        python_out = parallel_sort_pairs(python_comm, per_rank)
+        numpy_out = parallel_sort_pairs_numpy(numpy_comm, per_rank)
+        assert numpy_out[0] == python_out[0]
+        assert all(o == python_out[0] for o in numpy_out)
+        # Same tuple element types (int ids, float scores), not np scalars.
+        for bid, score in numpy_out[0]:
+            assert type(bid) is int and type(score) is float
+        # Identical communication: same ops, same calls, same bytes, and
+        # therefore identical modelled seconds.
+        assert numpy_comm.stats == python_comm.stats
+
+    def test_shared_result_list_across_ranks(self):
+        """Every rank holds literally the same list, mirroring the broadcast
+        buffer — what makes the sorting step's agreement check O(nranks)."""
+        comm = BSPCommunicator(3)
+        out = parallel_sort_pairs_numpy(comm, self._random_pairs(3, 4))
+        assert all(o is out[0] for o in out)
+
+    def test_handles_empty_ranks(self):
+        comm = BSPCommunicator(3)
+        out = parallel_sort_pairs_numpy(comm, [[(0, 1.0)], [], [(1, 0.5)]])
+        assert out[0] == [(1, 0.5), (0, 1.0)]
+
+    def test_all_empty(self):
+        comm = BSPCommunicator(2)
+        out = parallel_sort_pairs_numpy(comm, [[], []])
+        assert out == [[], []]
+
+    def test_wrong_rank_count(self):
+        comm = BSPCommunicator(2)
+        with pytest.raises(ValueError):
+            parallel_sort_pairs_numpy(comm, [[(0, 1.0)]])
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        scores=st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=4,
+            max_size=40,
+        ),
+        nranks=st.sampled_from([2, 3, 4]),
+    )
+    def test_numpy_sort_property(self, scores, nranks):
+        """The lexsort path always equals the sequential (score, id) sort."""
+        comm = BSPCommunicator(nranks)
+        pairs = [(i, float(s)) for i, s in enumerate(scores)]
+        per_rank = [pairs[r::nranks] for r in range(nranks)]
+        out = parallel_sort_pairs_numpy(comm, per_rank)
         assert out[0] == sorted(pairs, key=lambda p: (p[1], p[0]))
