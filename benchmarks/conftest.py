@@ -34,13 +34,13 @@ def scale_params():
 @pytest.fixture(scope="session")
 def scenario_64() -> ExperimentScenario:
     """The paper's 64-core configuration (laptop-scale data, calibrated model)."""
-    return cached_scenario(64, 10)
+    return cached_scenario(name="blue_waters_64", nsnapshots=10)
 
 
 @pytest.fixture(scope="session")
 def scenario_400() -> ExperimentScenario:
     """The paper's 400-core configuration (laptop-scale data, calibrated model)."""
-    return cached_scenario(400, 10)
+    return cached_scenario(name="blue_waters_400", nsnapshots=10)
 
 
 @pytest.fixture()

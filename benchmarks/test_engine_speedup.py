@@ -26,7 +26,7 @@ from repro.core.rendering_step import (
     VectorizedRenderingStep,
 )
 from repro.core.scoring_step import ScoringStep, VectorizedScoringStep
-from repro.experiments.common import ExperimentScenario, ScenarioConfig
+from repro.experiments.common import ExperimentScenario, cached_scenario
 from repro.experiments.fig10_adaptation import PAPER_FIG10_TARGETS
 from repro.experiments.fig11_full_pipeline import PAPER_FIG11_TARGETS
 from repro.metrics.registry import create_metric
@@ -38,15 +38,13 @@ MIN_SPEEDUP = 3.0
 
 @pytest.fixture(scope="module")
 def fine_scenario_64() -> ExperimentScenario:
-    """64 ranks, 64 blocks per rank (finer granularity than the default 32)."""
-    return ExperimentScenario(
-        ScenarioConfig(
-            ncores=64,
-            shape=(220, 220, 38),
-            blocks_per_subdomain=(4, 4, 4),
-            nsnapshots=1,
-        )
-    )
+    """64 ranks, 64 blocks per rank (finer granularity than the default 32).
+
+    Resolved through the scenario registry ("blue_waters_64_fine"), so the
+    gate configuration is listed by ``python -m repro list`` and covered by
+    the registry-driven parity sweep like every other workload.
+    """
+    return cached_scenario(name="blue_waters_64_fine")
 
 
 def _best_of(run, repeats: int = 5) -> float:

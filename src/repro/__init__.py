@@ -25,8 +25,17 @@ Performance-Constrained In Situ Visualization of Atmospheric Simulations"
   against the paper's published numbers;
 * :mod:`repro.grid`, :mod:`repro.io` — domain decomposition and a BIL-like
   dataset store;
+* :mod:`repro.scenarios` — the named workload registry: the paper's two
+  Blue Waters configurations plus parameterised storm families the paper
+  never ran (squall line, multi-cell cluster, turbulence-only field,
+  decaying storm) and weak/strong scaling sweeps derived from any entry;
 * :mod:`repro.experiments` — drivers regenerating every table and figure of
   the paper's evaluation section.
+
+The registered workloads are also runnable from the command line::
+
+    python -m repro list
+    python -m repro run squall_line --backend vectorized --output out.json
 
 Quickstart
 ----------
@@ -50,8 +59,15 @@ from repro.cm1 import CM1Config, CM1Dataset, CM1Simulation
 from repro.grid import BlockBatch
 from repro.perfmodel import PlatformModel
 from repro.metrics import create_metric, default_registry
+from repro.scenarios import (
+    ScenarioConfig,
+    create_scenario_config,
+    register_scenario,
+    scaling_variants,
+    scenario_names,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AdaptationConfig",
@@ -66,8 +82,13 @@ __all__ = [
     "CM1Dataset",
     "CM1Simulation",
     "PlatformModel",
+    "ScenarioConfig",
     "create_metric",
+    "create_scenario_config",
     "default_registry",
+    "register_scenario",
+    "scaling_variants",
+    "scenario_names",
     "quickstart_pipeline",
     "__version__",
 ]

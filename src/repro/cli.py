@@ -1,0 +1,277 @@
+"""The ``python -m repro`` command line.
+
+Two subcommands expose the scenario registry without writing any Python:
+
+``list``
+    Print the workload catalogue (name, default scale, tags, description),
+    optionally filtered by tag, optionally as JSON.
+
+``run``
+    Build a registered scenario (with optional rank/snapshot/seed
+    overrides), run the full six-step pipeline on it through the usual
+    ``ExperimentScenario.build_pipeline`` path, and write a JSON summary —
+    per-iteration timings, per-step aggregates, and the adaptation
+    trajectory.  ``--save-dataset`` additionally persists the generated
+    snapshots as a :class:`~repro.io.store.DatasetStore` (manifest + one
+    ``.npz`` per iteration).
+
+Exit codes: 0 on success, 2 on usage errors (including an unknown scenario
+name — the error message lists the registered names).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.core.backends import engine_backends
+from repro.core.config import AdaptationConfig
+from repro.metrics.registry import default_registry
+from repro.scenarios import get_scenario, scenario_specs
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run registered in situ visualization workloads.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_p = sub.add_parser("list", help="list the registered scenarios")
+    list_p.add_argument("--tag", default=None, help="only scenarios carrying this tag")
+    list_p.add_argument(
+        "--json", action="store_true", help="machine-readable catalogue"
+    )
+
+    run_p = sub.add_parser("run", help="run one registered scenario")
+    run_p.add_argument("scenario", help="registered scenario name (see 'list')")
+    run_p.add_argument(
+        "--backend",
+        default=None,
+        help=f"engine backend ({', '.join(engine_backends())}; default: config)",
+    )
+    run_p.add_argument("--ranks", type=int, default=None, help="virtual rank count")
+    run_p.add_argument(
+        "--snapshots", type=int, default=None, help="number of snapshots to process"
+    )
+    run_p.add_argument(
+        "--metric", default="VAR", help="block-scoring metric (default: VAR)"
+    )
+    run_p.add_argument(
+        "--redistribution",
+        default="none",
+        choices=("none", "shuffle", "round_robin"),
+        help="redistribution strategy (default: none)",
+    )
+    run_p.add_argument(
+        "--percent",
+        type=float,
+        default=None,
+        help="fixed reduction percentage (bypasses adaptation)",
+    )
+    run_p.add_argument(
+        "--target",
+        type=float,
+        default=None,
+        help="adaptation target in modelled seconds (enables Algorithm 1)",
+    )
+    run_p.add_argument(
+        "--render-mode",
+        default="count",
+        choices=("count", "mesh"),
+        help="rendering mode (default: count)",
+    )
+    run_p.add_argument("--seed", type=int, default=None, help="scenario seed override")
+    run_p.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write the JSON summary to this file (default: stdout)",
+    )
+    run_p.add_argument(
+        "--save-dataset",
+        type=Path,
+        default=None,
+        help="persist the generated snapshots as a DatasetStore at this directory",
+    )
+    return parser
+
+
+def _json_default(value):
+    """Coerce NumPy scalars/arrays hiding in results into plain JSON types.
+
+    ``tolist`` must be tried first: it handles arrays of any size (and
+    returns a plain scalar for 0-d arrays and NumPy scalars), whereas
+    ``item`` raises on multi-element arrays.
+    """
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if hasattr(value, "item"):
+        return value.item()
+    raise TypeError(f"not JSON serialisable: {type(value).__name__}")
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    specs = [
+        spec
+        for spec in scenario_specs()
+        if args.tag is None or args.tag in spec.tags
+    ]
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "name": spec.name,
+                        "description": spec.description,
+                        "tags": list(spec.tags),
+                        "default_ranks": spec.default_ranks,
+                        "default_snapshots": spec.default_snapshots,
+                    }
+                    for spec in specs
+                ],
+                indent=2,
+            )
+        )
+        return 0
+    if not specs:
+        print(f"no scenarios tagged {args.tag!r}")
+        return 0
+    width = max(len(spec.name) for spec in specs)
+    for spec in specs:
+        scale = f"{spec.default_ranks}r/{spec.default_snapshots}s"
+        tags = ",".join(spec.tags)
+        print(f"{spec.name:<{width}}  {scale:>8}  [{tags}]  {spec.description}")
+    return 0
+
+
+def _step_aggregates(iterations) -> Dict[str, Dict[str, float]]:
+    """Per-step aggregates over a run: mean/max modelled seconds, payload."""
+    steps: Dict[str, Dict[str, float]] = {}
+    for result in iterations:
+        for name, report in result.step_reports.items():
+            agg = steps.setdefault(
+                name,
+                {"modelled_seconds_mean": 0.0, "modelled_seconds_max": 0.0,
+                 "payload_bytes_total": 0.0, "iterations": 0},
+            )
+            agg["modelled_seconds_mean"] += report.modelled_max
+            agg["modelled_seconds_max"] = max(
+                agg["modelled_seconds_max"], report.modelled_max
+            )
+            agg["payload_bytes_total"] += report.payload_bytes
+            agg["iterations"] += 1
+    for agg in steps.values():
+        if agg["iterations"]:
+            agg["modelled_seconds_mean"] /= agg["iterations"]
+    return steps
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    # Imported lazily: pulling in the experiment layer (SciPy, calibration)
+    # only when a run is actually requested keeps ``list`` snappy.
+    from repro.experiments.common import ExperimentScenario
+
+    try:
+        spec = get_scenario(args.scenario)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.metric.strip().upper() not in default_registry():
+        print(
+            f"error: unknown metric {args.metric!r}; available: "
+            f"{', '.join(default_registry().names())}",
+            file=sys.stderr,
+        )
+        return 2
+    backend = None if args.backend is None else args.backend.strip().lower()
+    if backend is not None and backend not in engine_backends():
+        print(
+            f"error: unknown backend {args.backend!r}; available: "
+            f"{', '.join(engine_backends())}",
+            file=sys.stderr,
+        )
+        return 2
+
+    config = spec.build(ncores=args.ranks, nsnapshots=args.snapshots, seed=args.seed)
+    scenario = ExperimentScenario(config)
+    adaptation: Optional[AdaptationConfig] = None
+    if args.target is not None:
+        adaptation = AdaptationConfig(enabled=True, target_seconds=args.target)
+    pipeline = scenario.build_pipeline(
+        metric=args.metric,
+        redistribution=args.redistribution,
+        adaptation=adaptation,
+        render_mode=args.render_mode,
+        engine=backend,
+    )
+    run = pipeline.run(scenario.iteration_blocks(), percent_override=args.percent)
+
+    iteration_rows: List[Dict[str, object]] = [
+        {
+            "iteration": result.iteration,
+            "percent_reduced": result.percent_reduced,
+            "nblocks": result.nblocks,
+            "nreduced": result.nreduced,
+            "moved_bytes": result.moved_bytes,
+            "modelled_steps": dict(result.modelled_steps),
+            "modelled_total": result.modelled_total,
+            "load_imbalance": result.load_imbalance,
+        }
+        for result in run.iterations
+    ]
+    summary = {
+        "scenario": {
+            "name": spec.name,
+            "description": spec.description,
+            "tags": list(spec.tags),
+            "ncores": config.ncores,
+            "shape": list(config.shape),
+            "blocks_per_subdomain": list(config.blocks_per_subdomain),
+            "nsnapshots": config.nsnapshots,
+            "seed": config.seed,
+            "storm_family": type(config.storm).__name__ if config.storm else "default",
+        },
+        "config": pipeline.config_summary(),
+        "run": run.summary(),
+        "steps": _step_aggregates(run.iterations),
+        "iterations": iteration_rows,
+    }
+    # Status lines go to stderr: when --output is omitted, stdout carries the
+    # JSON document and nothing else (the machine-readable contract).
+    text = json.dumps(summary, indent=2, default=_json_default)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    if args.save_dataset is not None:
+        store = scenario.dataset.save(
+            args.save_dataset, extra_metadata={"scenario": spec.name}
+        )
+        print(
+            f"saved dataset ({len(store.iterations())} iterations) to {store.root}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``python -m repro``; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        return _cmd_run(args)
+    except BrokenPipeError:
+        # Downstream closed our stdout early (e.g. ``python -m repro list |
+        # head``); silence the interpreter's exit-time flush and succeed.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0

@@ -9,7 +9,10 @@ Running the real CM1 (Fortran, petascale data) is out of scope here, so this
 package provides a synthetic but physically structured substitute:
 
 * a time-evolving **supercell storm** description (updraft core, mesocyclone
-  rotation, hook echo, anvil, storm motion) — :mod:`repro.cm1.storm`;
+  rotation, hook echo, anvil, storm motion) — :mod:`repro.cm1.storm` — plus
+  parameterised **storm families** sharing its envelope contract: a squall
+  line, a multi-cell cluster, a turbulence-only field, and a decaying storm
+  (dispatched from their configs by :func:`~repro.cm1.storm.make_storm`);
 * **microphysics** fields (rain / snow / graupel-hail mixing ratios) built
   from the storm structure plus seeded turbulence — :mod:`repro.cm1.microphysics`;
 * the **reflectivity diagnostic** converting mixing ratios to dBZ in the
@@ -24,8 +27,22 @@ small, localised, turbulent fraction of a large mostly-quiet domain, its
 values span the full dBZ range, and it grows/moves over iterations.
 """
 
-from repro.cm1.config import CM1Config, StormConfig
-from repro.cm1.storm import SupercellStorm
+from repro.cm1.config import (
+    CM1Config,
+    DecayingStormConfig,
+    MultiCellConfig,
+    SquallLineConfig,
+    StormConfig,
+    TurbulenceFieldConfig,
+)
+from repro.cm1.storm import (
+    DecayingStorm,
+    MultiCellStorm,
+    SquallLineStorm,
+    SupercellStorm,
+    TurbulenceFieldStorm,
+    make_storm,
+)
 from repro.cm1.state import ModelState
 from repro.cm1.microphysics import Microphysics
 from repro.cm1.reflectivity import reflectivity_dbz, DBZ_MIN, DBZ_MAX
@@ -36,7 +53,16 @@ from repro.cm1.dataset import CM1Dataset
 __all__ = [
     "CM1Config",
     "StormConfig",
+    "SquallLineConfig",
+    "MultiCellConfig",
+    "TurbulenceFieldConfig",
+    "DecayingStormConfig",
     "SupercellStorm",
+    "SquallLineStorm",
+    "MultiCellStorm",
+    "TurbulenceFieldStorm",
+    "DecayingStorm",
+    "make_storm",
     "ModelState",
     "Microphysics",
     "reflectivity_dbz",

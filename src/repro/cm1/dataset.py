@@ -89,18 +89,21 @@ class CM1Dataset:
 
     # -- persistence ---------------------------------------------------------
 
-    def save(self, directory: Path) -> DatasetStore:
-        """Persist every snapshot into a :class:`DatasetStore` at ``directory``."""
+    def save(self, directory: Path, extra_metadata: Optional[dict] = None) -> DatasetStore:
+        """Persist every snapshot into a :class:`DatasetStore` at ``directory``.
+
+        ``extra_metadata`` entries are merged into the manifest metadata —
+        the CLI records the scenario name this way.
+        """
+        metadata = {
+            "generator": "repro.cm1.CM1Dataset",
+            "shape": list(self.config.shape),
+            "seed": self.config.seed,
+            "nsnapshots": self.nsnapshots,
+        }
+        metadata.update(extra_metadata or {})
         store = DatasetStore(Path(directory))
-        store.create(
-            self.simulation.grid,
-            metadata={
-                "generator": "repro.cm1.CM1Dataset",
-                "shape": list(self.config.shape),
-                "seed": self.config.seed,
-                "nsnapshots": self.nsnapshots,
-            },
-        )
+        store.create(self.simulation.grid, metadata=metadata)
         for domain in self:
             store.append(domain)
         return store

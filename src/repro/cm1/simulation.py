@@ -17,7 +17,7 @@ from repro.cm1.dynamics import WindField
 from repro.cm1.microphysics import Microphysics
 from repro.cm1.reflectivity import reflectivity_dbz
 from repro.cm1.state import ModelState
-from repro.cm1.storm import SupercellStorm
+from repro.cm1.storm import make_storm
 from repro.grid.domain import Domain
 from repro.grid.rectilinear import RectilinearGrid
 
@@ -46,7 +46,7 @@ class CM1Simulation:
             horizontal_extent_km=self.config.horizontal_extent_km,
             vertical_extent_km=self.config.vertical_extent_km,
         )
-        self.storm = SupercellStorm(self.config.storm)
+        self.storm = make_storm(self.config.storm)
         self.microphysics = Microphysics(self.storm, seed=self.config.seed)
         self.wind = WindField(self.storm)
         self._mesh_cache: Optional[tuple] = None

@@ -1,5 +1,12 @@
 """Shared scenario construction for the experiment drivers.
 
+Workload *parameters* live in the scenario registry
+(:mod:`repro.scenarios`): ``ScenarioConfig`` is re-exported from there, the
+named constructors (``blue_waters``, ``tiny``, ``from_name``) resolve
+through the registry, and :func:`cached_scenario` memoises construction
+keyed by the full resolved config.  This module adds what the *experiments*
+need on top of a config — data, decomposition, and calibration.
+
 An :class:`ExperimentScenario` bundles everything an experiment needs:
 
 * a synthetic CM1 dataset at laptop scale (the paper's 2200×2200×380 grid
@@ -16,9 +23,9 @@ An :class:`ExperimentScenario` bundles everything an experiment needs:
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -30,8 +37,17 @@ from repro.grid.block import Block
 from repro.grid.decomposition import CartesianDecomposition, factorize_ranks
 from repro.perfmodel.calibration import PAPER_BASELINES, calibrate_render_model
 from repro.perfmodel.platform import PlatformModel
+from repro.scenarios import ScenarioConfig, create_scenario_config
 from repro.simmpi.costmodel import NetworkCostModel
 from repro.viz.catalyst import IsosurfaceScript
+
+__all__ = [
+    "ExperimentScenario",
+    "ScenarioConfig",
+    "bench_scale",
+    "cached_scenario",
+    "render_baseline_seconds",
+]
 
 #: Environment variable selecting the experiment scale ("small" or "full").
 SCALE_ENV_VAR = "REPRO_BENCH_SCALE"
@@ -78,83 +94,6 @@ def render_baseline_seconds(ncores: int) -> float:
     return baselines[64] * 64.0 / float(ncores)
 
 
-@dataclass(frozen=True)
-class ScenarioConfig:
-    """Parameters of an experiment scenario."""
-
-    ncores: int = 64
-    shape: Tuple[int, int, int] = (220, 220, 38)
-    blocks_per_subdomain: Tuple[int, int, int] = (2, 2, 2)
-    nsnapshots: int = 10
-    isosurface_level: float = 45.0
-    field_name: str = "dbz"
-    seed: int = 2016
-    #: Optional storm-structure override (None = CM1Config's default supercell).
-    storm: Optional[object] = None
-
-    def __post_init__(self) -> None:
-        if self.ncores < 1:
-            raise ValueError(f"ncores must be >= 1, got {self.ncores}")
-        if self.nsnapshots < 1:
-            raise ValueError(f"nsnapshots must be >= 1, got {self.nsnapshots}")
-
-    @classmethod
-    def _experiment_storm(cls):
-        """Storm used by the figure-reproduction scenarios.
-
-        Compared with the CM1 default it has stronger, finer-grained
-        turbulence so that the 45 dBZ isosurface crosses many blocks — at
-        1/10 of the paper's resolution this is what keeps the per-block
-        rendering load fine-grained enough for the redistribution step to
-        balance it, as it does at full scale in the paper.
-        """
-        from repro.cm1.config import StormConfig
-
-        return StormConfig(turbulence=1.2, turbulence_scale=0.08)
-
-    @classmethod
-    def blue_waters_64(cls, nsnapshots: int = 10) -> "ScenarioConfig":
-        """The 64-core configuration of the paper at laptop scale.
-
-        32 blocks per rank (the paper has 250) keeps the block granularity
-        fine enough for redistribution to balance the storm's rendering load.
-        """
-        return cls(
-            ncores=64,
-            shape=(220, 220, 38),
-            blocks_per_subdomain=(2, 2, 8),
-            nsnapshots=nsnapshots,
-            storm=cls._experiment_storm(),
-        )
-
-    @classmethod
-    def blue_waters_400(cls, nsnapshots: int = 10) -> "ScenarioConfig":
-        """The 400-core configuration of the paper at laptop scale.
-
-        16 blocks per rank keeps the per-iteration Python cost tractable; the
-        redistribution speedup it allows (~2.5–3×) is below the paper's 5×
-        because the laptop-scale isosurface simply does not contain enough
-        independent block loads for 400 ranks (see EXPERIMENTS.md).
-        """
-        return cls(
-            ncores=400,
-            shape=(220, 220, 38),
-            blocks_per_subdomain=(2, 2, 4),
-            nsnapshots=nsnapshots,
-            storm=cls._experiment_storm(),
-        )
-
-    @classmethod
-    def tiny(cls, nranks: int = 4, nsnapshots: int = 2) -> "ScenarioConfig":
-        """A unit-test-sized configuration."""
-        return cls(
-            ncores=nranks,
-            shape=(44, 44, 12),
-            blocks_per_subdomain=(2, 2, 1),
-            nsnapshots=nsnapshots,
-        )
-
-
 class ExperimentScenario:
     """Dataset + decomposition + calibrated platform for one configuration."""
 
@@ -179,18 +118,28 @@ class ExperimentScenario:
     # -- construction helpers ------------------------------------------------------
 
     @classmethod
+    def from_name(cls, name: str, **overrides) -> "ExperimentScenario":
+        """Scenario built from a registered workload name.
+
+        Keyword overrides (``ncores``, ``nsnapshots``, ``shape``, ``seed``,
+        ...) replace the registered family's defaults; ``None`` values are
+        ignored, so CLI arguments forward directly.
+        """
+        return cls(create_scenario_config(name, **overrides))
+
+    @classmethod
     def blue_waters(cls, ncores: int = 64, nsnapshots: int = 10) -> "ExperimentScenario":
         """Scenario matching one of the paper's two configurations."""
         if ncores == 64:
-            return cls(ScenarioConfig.blue_waters_64(nsnapshots))
+            return cls.from_name("blue_waters_64", nsnapshots=nsnapshots)
         if ncores == 400:
-            return cls(ScenarioConfig.blue_waters_400(nsnapshots))
+            return cls.from_name("blue_waters_400", nsnapshots=nsnapshots)
         return cls(ScenarioConfig(ncores=ncores, nsnapshots=nsnapshots))
 
     @classmethod
     def tiny(cls, nranks: int = 4, nsnapshots: int = 2) -> "ExperimentScenario":
         """Unit-test-sized scenario."""
-        return cls(ScenarioConfig.tiny(nranks=nranks, nsnapshots=nsnapshots))
+        return cls.from_name("tiny", ncores=nranks, nsnapshots=nsnapshots)
 
     # -- data access --------------------------------------------------------------
 
@@ -322,12 +271,46 @@ class ExperimentScenario:
         return InSituPipeline(config, self.platform, nranks=self.nranks)
 
 
-@lru_cache(maxsize=4)
-def cached_scenario(ncores: int, nsnapshots: int) -> ExperimentScenario:
+@lru_cache(maxsize=8)
+def _scenario_for_config(config: ScenarioConfig) -> ExperimentScenario:
+    """Memoised scenario construction keyed by the *full* config.
+
+    ``ScenarioConfig`` is frozen and hashable, so two workloads that happen
+    to share a scale (say ``tiny`` and ``turbulence_field`` at 4 ranks / 2
+    snapshots) occupy distinct cache slots — the cache key is the scenario's
+    identity, not its size.
+    """
+    return ExperimentScenario(config)
+
+
+def cached_scenario(
+    ncores: Optional[int] = None,
+    nsnapshots: Optional[int] = None,
+    name: Optional[str] = None,
+) -> ExperimentScenario:
     """Memoised scenario construction shared by the benchmark modules.
 
     Building a scenario generates the synthetic dataset and calibrates the
     platform, which takes a few seconds at the 400-rank scale; the benchmarks
     for different figures share the same scenario through this cache.
+
+    ``name`` selects a registered workload (with optional ``ncores`` /
+    ``nsnapshots`` overrides).  Without a name, the historical behaviour is
+    preserved: 64 and 400 cores resolve to the paper's two configurations,
+    any other count to a generic supercell scenario.
     """
-    return ExperimentScenario.blue_waters(ncores=ncores, nsnapshots=nsnapshots)
+    if name is None:
+        if ncores is None:
+            raise TypeError("cached_scenario requires a scenario name or ncores")
+        if ncores == 64:
+            name = "blue_waters_64"
+        elif ncores == 400:
+            name = "blue_waters_400"
+        else:
+            config = ScenarioConfig(
+                ncores=ncores,
+                **({} if nsnapshots is None else {"nsnapshots": nsnapshots}),
+            )
+            return _scenario_for_config(config)
+    config = create_scenario_config(name, ncores=ncores, nsnapshots=nsnapshots)
+    return _scenario_for_config(config)

@@ -1,0 +1,328 @@
+"""Tests of the scenario subsystem: registry, storm families, parity sweep.
+
+The centrepiece is the registry-driven cross-backend parity sweep: it
+parameterises over *every* registered scenario (``scenario_names()``), so a
+newly registered workload automatically gets serial/vectorized/parallel
+parity coverage at tiny scale without anyone writing a test for it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cm1 import (
+    CM1Config,
+    CM1Simulation,
+    DecayingStorm,
+    DecayingStormConfig,
+    MultiCellConfig,
+    MultiCellStorm,
+    SquallLineConfig,
+    SquallLineStorm,
+    SupercellStorm,
+    TurbulenceFieldConfig,
+    TurbulenceFieldStorm,
+    make_storm,
+)
+from repro.experiments.common import ExperimentScenario, cached_scenario
+from repro.scenarios import (
+    ScenarioConfig,
+    create_scenario_config,
+    get_scenario,
+    register_scenario,
+    scaling_variants,
+    scenario_names,
+    scenario_specs,
+)
+from repro.scenarios.registry import _REGISTRY
+
+BACKENDS = ("serial", "vectorized", "parallel")
+
+#: The four storm families this PR introduces, all required to be registered.
+NEW_FAMILIES = ("squall_line", "multicell_cluster", "turbulence_field", "decaying_storm")
+
+_TINY_CACHE = {}
+
+
+def tiny_scenario(name: str) -> ExperimentScenario:
+    """Tiny-scale ExperimentScenario of a registered workload (cached)."""
+    if name not in _TINY_CACHE:
+        _TINY_CACHE[name] = ExperimentScenario(get_scenario(name).tiny())
+    return _TINY_CACHE[name]
+
+
+class TestRegistry:
+    def test_catalogue_size_and_contents(self):
+        names = scenario_names()
+        assert len(names) >= 7
+        for required in ("blue_waters_64", "blue_waters_400", "tiny") + NEW_FAMILIES:
+            assert required in names
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError, match="blue_waters_64"):
+            get_scenario("definitely_not_registered")
+
+    def test_specs_carry_metadata(self):
+        for spec in scenario_specs():
+            assert spec.name
+            assert spec.description
+            assert spec.default_ranks >= 1
+            assert spec.default_snapshots >= 1
+
+    def test_build_applies_overrides_and_stamps_name(self):
+        config = create_scenario_config("squall_line", ncores=4, nsnapshots=3, seed=7)
+        assert config.ncores == 4
+        assert config.nsnapshots == 3
+        assert config.seed == 7
+        assert config.name == "squall_line"
+        # None overrides are ignored (CLI arguments forward directly).
+        default = create_scenario_config("squall_line", ncores=None)
+        assert default.ncores == get_scenario("squall_line").default_ranks
+
+    def test_register_decorator_and_overwrite(self):
+        @register_scenario("pytest_tmp_scenario", description="x", tags=("tmp",))
+        def _factory(**overrides):
+            return ScenarioConfig(ncores=2, shape=(44, 44, 12), **overrides)
+
+        try:
+            assert "pytest_tmp_scenario" in scenario_names()
+            assert create_scenario_config("pytest_tmp_scenario").ncores == 2
+            # Re-registration overwrites (the documented extension contract).
+            register_scenario(
+                "pytest_tmp_scenario",
+                lambda **o: ScenarioConfig(ncores=3, shape=(44, 44, 12), **o),
+            )
+            assert create_scenario_config("pytest_tmp_scenario").ncores == 3
+        finally:
+            _REGISTRY.pop("pytest_tmp_scenario", None)
+
+    def test_classic_constructors_resolve_through_registry(self):
+        assert ScenarioConfig.blue_waters_64(nsnapshots=3).name == "blue_waters_64"
+        assert ScenarioConfig.blue_waters_400().ncores == 400
+        tiny = ScenarioConfig.tiny(nranks=2, nsnapshots=1)
+        assert (tiny.ncores, tiny.nsnapshots, tiny.name) == (2, 1, "tiny")
+        assert ExperimentScenario.from_name("tiny", nsnapshots=1).config.name == "tiny"
+
+
+class TestStormFamilies:
+    def test_make_storm_dispatch(self):
+        assert type(make_storm(SquallLineConfig())) is SquallLineStorm
+        assert type(make_storm(MultiCellConfig())) is MultiCellStorm
+        assert type(make_storm(TurbulenceFieldConfig())) is TurbulenceFieldStorm
+        assert type(make_storm(DecayingStormConfig())) is DecayingStorm
+        assert type(make_storm(SquallLineConfig().__class__())) is SquallLineStorm
+        from repro.cm1.config import StormConfig
+
+        assert type(make_storm(StormConfig())) is SupercellStorm
+
+    def test_families_produce_distinct_fields(self):
+        fields = {}
+        for name in ("tiny",) + NEW_FAMILIES:
+            storm = tiny_scenario(name).config.storm
+            sim = CM1Simulation(
+                CM1Config(
+                    shape=(44, 44, 12), **({} if storm is None else {"storm": storm})
+                )
+            )
+            fields[name] = np.asarray(sim.snapshot(0).get_field("dbz"))
+        names = list(fields)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                assert not np.array_equal(fields[a], fields[b]), (a, b)
+
+    def test_squall_line_is_elongated(self):
+        storm = make_storm(SquallLineConfig())
+        x = np.linspace(0, 1, 60)
+        xn, yn, zn = np.meshgrid(x, x, np.linspace(0, 1, 12), indexing="ij")
+        # The reflectivity band (core envelope) is the defining structure;
+        # the trailing stratiform anvil legitimately widens the full mask.
+        core = storm.envelopes(xn, yn, zn, iteration=5)["core"]
+        cols = (core > 0.15).any(axis=2)
+        ii, jj = np.nonzero(cols)
+        # Principal-axis anisotropy: an elongated band has one dominant
+        # eigenvalue in its horizontal covariance.
+        coords = np.stack([ii, jj]).astype(float)
+        cov = np.cov(coords)
+        evals = np.sort(np.linalg.eigvalsh(cov))
+        assert evals[1] > 4.0 * max(evals[0], 1e-9)
+
+    def test_multicell_placement_deterministic_and_seeded(self):
+        a = MultiCellStorm(MultiCellConfig(placement_seed=7))
+        b = MultiCellStorm(MultiCellConfig(placement_seed=7))
+        c = MultiCellStorm(MultiCellConfig(placement_seed=8))
+        centers = lambda storm: [cell.config.initial_center for cell in storm._cells]
+        assert centers(a) == centers(b)
+        assert centers(a) != centers(c)
+
+    def test_turbulence_field_scores_near_uniform(self):
+        scenario = tiny_scenario("turbulence_field")
+        pipeline = scenario.build_pipeline(metric="VAR")
+        context = pipeline.engine.run_iteration(scenario.blocks_for(0), 0.0, 0)
+        scores = np.array(
+            [score for pairs in context.per_rank_pairs for (_, score) in pairs]
+        )
+        assert scores.min() > 0
+        # Near-uniform: far tighter spread than the supercell workload.
+        cv_turb = scores.std() / scores.mean()
+        supercell = tiny_scenario("tiny")
+        ctx2 = supercell.build_pipeline(metric="VAR").engine.run_iteration(
+            supercell.blocks_for(0), 0.0, 0
+        )
+        s2 = np.array([s for pairs in ctx2.per_rank_pairs for (_, s) in pairs])
+        cv_storm = s2.std() / s2.mean()
+        assert cv_turb < 0.5 * cv_storm
+
+    def test_decaying_storm_load_falls_over_snapshots(self):
+        scenario = tiny_scenario("decaying_storm")
+        config = scenario.config
+        sim = CM1Simulation(
+            CM1Config(shape=config.shape, seed=config.seed, storm=config.storm)
+        )
+        early = (np.asarray(sim.snapshot(0).get_field("dbz")) > 45.0).sum()
+        late = (np.asarray(sim.snapshot(8).get_field("dbz")) > 45.0).sum()
+        assert early > 0
+        assert late < 0.6 * early
+
+
+def _iteration_observables(scenario: ExperimentScenario, backend: str):
+    """Decision-bearing outputs of one 50%-reduction iteration."""
+    pipeline = scenario.build_pipeline(
+        metric="VAR", redistribution="round_robin", engine=backend
+    )
+    context = pipeline.engine.run_iteration(
+        scenario.blocks_for(0), percent=50.0, iteration=0
+    )
+    owners = {
+        block.block_id: block.owner
+        for blocks in context.per_rank_blocks
+        for block in blocks
+    }
+    reports = {
+        name: (
+            report.modelled_per_rank,
+            report.payload_bytes,
+            report.counters,
+            report.per_rank_counters,
+        )
+        for name, report in context.reports.items()
+    }
+    return context.per_rank_pairs, context.sorted_pairs, owners, reports
+
+
+@pytest.mark.parametrize("name", scenario_names())
+class TestRegistryParitySweep:
+    """Every registered workload must run identically on every backend."""
+
+    def test_three_backend_parity(self, name):
+        scenario = tiny_scenario(name)
+        ref_pairs, ref_sorted, ref_owners, ref_reports = _iteration_observables(
+            scenario, "serial"
+        )
+        # Sanity: the iteration did real work on this workload.
+        assert ref_sorted and len(ref_owners) == scenario.nblocks
+        assert set(ref_reports) == {
+            "scoring", "sorting", "reduction", "redistribution", "rendering",
+        }
+        for backend in BACKENDS[1:]:
+            pairs, sorted_pairs, owners, reports = _iteration_observables(
+                scenario, backend
+            )
+            assert pairs == ref_pairs, backend
+            assert sorted_pairs == ref_sorted, backend
+            assert owners == ref_owners, backend
+            for step, ref in ref_reports.items():
+                assert reports[step] == ref, (backend, step)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["multicell_cluster", "squall_line"])
+    def test_same_name_and_seed_bitwise_identical(self, name):
+        spec = get_scenario(name)
+        a = ExperimentScenario(spec.tiny())
+        b = ExperimentScenario(spec.tiny())
+        for blocks_a, blocks_b in zip(a.blocks_for(1), b.blocks_for(1)):
+            assert len(blocks_a) == len(blocks_b)
+            for block_a, block_b in zip(blocks_a, blocks_b):
+                assert block_a.block_id == block_b.block_id
+                assert block_a.data.tobytes() == block_b.data.tobytes()
+        reports_a = _iteration_observables(a, "vectorized")
+        reports_b = _iteration_observables(b, "vectorized")
+        assert reports_a == reports_b
+
+    def test_different_seeds_differ(self):
+        spec = get_scenario("multicell_cluster")
+        base = ExperimentScenario(spec.tiny())
+        other = ExperimentScenario(spec.build(
+            ncores=4, nsnapshots=2, shape=(44, 44, 12), seed=12345
+        ))
+        field_a = np.asarray(base.dataset.snapshot(0).get_field("dbz"))
+        field_b = np.asarray(other.dataset.snapshot(0).get_field("dbz"))
+        assert field_a.shape == field_b.shape
+        assert not np.array_equal(field_a, field_b)
+
+
+class TestCachedScenario:
+    def test_distinct_scenarios_same_scale_do_not_collide(self):
+        tiny = cached_scenario(ncores=4, nsnapshots=2, name="tiny")
+        turb = cached_scenario(ncores=4, nsnapshots=2, name="turbulence_field")
+        assert tiny is not turb
+        assert tiny.config.name == "tiny"
+        assert turb.config.name == "turbulence_field"
+        assert tiny.config.storm != turb.config.storm
+
+    def test_identical_requests_share_one_scenario(self):
+        a = cached_scenario(ncores=4, nsnapshots=2, name="tiny")
+        b = cached_scenario(ncores=4, nsnapshots=2, name="tiny")
+        assert a is b
+
+    def test_legacy_positional_call_still_resolves_paper_names(self):
+        scenario = cached_scenario(64, 1)
+        assert scenario.config.name == "blue_waters_64"
+        assert scenario.config.nsnapshots == 1
+        assert cached_scenario(64, 1) is scenario
+
+    def test_requires_name_or_ncores(self):
+        with pytest.raises(TypeError):
+            cached_scenario()
+
+
+class TestScalingVariants:
+    def test_strong_scaling_keeps_shape(self):
+        variants = scaling_variants("tiny", ranks=(1, 2, 4), mode="strong")
+        assert [v.ncores for v in variants] == [1, 2, 4]
+        assert all(v.shape == (44, 44, 12) for v in variants)
+        assert [v.name for v in variants] == [
+            "tiny[strong@1]", "tiny[strong@2]", "tiny[strong@4]",
+        ]
+
+    def test_weak_scaling_grows_horizontal_grid(self):
+        variants = scaling_variants("tiny", ranks=(4, 16), mode="weak")
+        base, grown = variants
+        assert base.shape == (44, 44, 12)
+        assert grown.shape == (88, 88, 12)  # sqrt(16/4) = 2x per horizontal axis
+        # Per-rank point counts stay constant under weak scaling.
+        per_rank = lambda v: v.shape[0] * v.shape[1] * v.shape[2] / v.ncores
+        assert per_rank(grown) == pytest.approx(per_rank(base))
+
+    def test_variants_are_runnable(self):
+        variant = scaling_variants("tiny", ranks=(2,), mode="weak", nsnapshots=1)[0]
+        scenario = ExperimentScenario(variant)
+        pipeline = scenario.build_pipeline(metric="VAR")
+        result, _ = pipeline.process_iteration(scenario.blocks_for(0))
+        assert result.nblocks == scenario.nblocks
+
+    def test_strong_scaling_refuses_infeasible_rank_counts(self):
+        # tiny's 44-point axes cannot host 1024 ranks' block columns; a
+        # silently grown grid would make the sweep incomparable, so the
+        # helper must refuse instead.
+        with pytest.raises(ValueError, match="1024 ranks"):
+            scaling_variants("tiny", ranks=(4, 1024), mode="strong")
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError, match="mode"):
+            scaling_variants("tiny", ranks=(2,), mode="sideways")
+        with pytest.raises(ValueError, match="ranks"):
+            scaling_variants("tiny", ranks=())
+        with pytest.raises(KeyError):
+            scaling_variants("unregistered", ranks=(2,))
