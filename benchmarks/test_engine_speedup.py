@@ -30,6 +30,7 @@ from repro.experiments.common import ExperimentScenario, cached_scenario
 from repro.experiments.fig10_adaptation import PAPER_FIG10_TARGETS
 from repro.experiments.fig11_full_pipeline import PAPER_FIG11_TARGETS
 from repro.metrics.registry import create_metric
+from repro.utils.benchjson import record_bench
 
 #: Minimum serial/vectorized wall-clock ratio the engine must deliver on the
 #: gated hot paths (scoring and counting-mode rendering).
@@ -82,6 +83,15 @@ def test_vectorized_scoring_speedup(fine_scenario_64, metric_name, repeats):
         speedup = serial_seconds / vector_seconds
         if speedup >= MIN_SPEEDUP:
             break
+    record_bench(
+        gate=f"scoring_speedup_{metric_name}",
+        scenario="blue_waters_64_fine",
+        backend="vectorized",
+        seconds=vector_seconds,
+        baseline_backend="serial",
+        baseline_seconds=serial_seconds,
+        passed=speedup >= MIN_SPEEDUP,
+    )
     print(
         f"\nscoring 4096 blocks / 64 ranks ({metric_name}): "
         f"serial {serial_seconds * 1e3:.1f} ms, "
@@ -130,6 +140,15 @@ def test_vectorized_rendering_speedup(fine_scenario_64):
         speedup = serial_seconds / vector_seconds
         if speedup >= MIN_SPEEDUP:
             break
+    record_bench(
+        gate="rendering_speedup",
+        scenario="blue_waters_64_fine",
+        backend="vectorized",
+        seconds=vector_seconds,
+        baseline_backend="serial",
+        baseline_seconds=serial_seconds,
+        passed=speedup >= MIN_SPEEDUP,
+    )
     print(
         f"\nrendering (count) 4096 blocks / 64 ranks: "
         f"serial {serial_seconds * 1e3:.1f} ms, "
@@ -173,6 +192,15 @@ def test_fig11_full_pipeline_speedup(fine_scenario_64):
         speedup = serial_seconds / vector_seconds
         if speedup >= MIN_SPEEDUP:
             break
+    record_bench(
+        gate="fig11_pipeline_speedup",
+        scenario="blue_waters_64_fine",
+        backend="vectorized",
+        seconds=vector_seconds,
+        baseline_backend="serial",
+        baseline_seconds=serial_seconds,
+        passed=speedup >= MIN_SPEEDUP,
+    )
     print(
         f"\nfig11 full pipeline 4096 blocks / 64 ranks: "
         f"serial {serial_seconds * 1e3:.1f} ms, "

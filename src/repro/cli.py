@@ -1,10 +1,14 @@
 """The ``python -m repro`` command line.
 
-Two subcommands expose the scenario registry without writing any Python:
+Three subcommands expose the scenario registry without writing any Python:
 
 ``list``
     Print the workload catalogue (name, default scale, tags, description),
-    optionally filtered by tag, optionally as JSON.
+    optionally filtered by tag, optionally as JSON.  The JSON form also
+    reports ``parity_backends`` — the engine backends every registered
+    scenario is parity-verified against by the registry-driven sweep in
+    ``tests/test_scenarios.py`` (the sweep parameterises over the same two
+    registries this command reads).
 
 ``run``
     Build a registered scenario (with optional rank/snapshot/seed
@@ -14,6 +18,11 @@ Two subcommands expose the scenario registry without writing any Python:
     trajectory.  ``--save-dataset`` additionally persists the generated
     snapshots as a :class:`~repro.io.store.DatasetStore` (manifest + one
     ``.npz`` per iteration).
+
+``sweep``
+    Price a weak/strong-scaling rank sweep of a registered scenario through
+    the cost models alone (no data generated), which is what makes rank
+    counts like 10,000 tractable — see :mod:`repro.scenarios.sweep`.
 
 Exit codes: 0 on success, 2 on usage errors (including an unknown scenario
 name — the error message lists the registered names).
@@ -100,6 +109,44 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="persist the generated snapshots as a DatasetStore at this directory",
     )
+
+    sweep_p = sub.add_parser(
+        "sweep", help="price a scaling sweep through the cost models"
+    )
+    sweep_p.add_argument("scenario", help="registered scenario name (see 'list')")
+    sweep_p.add_argument(
+        "--ranks",
+        type=int,
+        nargs="+",
+        default=(64, 256, 1024, 4096, 10000),
+        help="virtual rank counts to price (default: 64 256 1024 4096 10000)",
+    )
+    sweep_p.add_argument(
+        "--mode",
+        default="weak",
+        choices=("weak", "strong"),
+        help="scaling mode (default: weak)",
+    )
+    sweep_p.add_argument(
+        "--metric", default="VAR", help="block-scoring metric (default: VAR)"
+    )
+    sweep_p.add_argument(
+        "--percent",
+        type=float,
+        default=50.0,
+        help="reduction percentage priced at every point (default: 50)",
+    )
+    sweep_p.add_argument(
+        "--serial",
+        action="store_true",
+        help="price points in-process instead of over the process pool",
+    )
+    sweep_p.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write the JSON sweep record to this file (default: stdout)",
+    )
     return parser
 
 
@@ -124,6 +171,10 @@ def _cmd_list(args: argparse.Namespace) -> int:
         if args.tag is None or args.tag in spec.tags
     ]
     if args.json:
+        # Every registered scenario is parity-verified against every
+        # registered backend by the registry-driven sweep (the sweep and
+        # this command read the same two registries).
+        parity = list(engine_backends())
         print(
             json.dumps(
                 [
@@ -133,6 +184,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
                         "tags": list(spec.tags),
                         "default_ranks": spec.default_ranks,
                         "default_snapshots": spec.default_snapshots,
+                        "parity_backends": parity,
                     }
                     for spec in specs
                 ],
@@ -263,12 +315,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.scenarios.sweep import model_scaling_sweep
+
+    try:
+        record = model_scaling_sweep(
+            args.scenario,
+            ranks=args.ranks,
+            mode=args.mode,
+            metric=args.metric,
+            percent=args.percent,
+            parallel=not args.serial,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    text = json.dumps(record, indent=2, default=_json_default)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of ``python -m repro``; returns the process exit code."""
     args = _build_parser().parse_args(argv)
     try:
         if args.command == "list":
             return _cmd_list(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
         return _cmd_run(args)
     except BrokenPipeError:
         # Downstream closed our stdout early (e.g. ``python -m repro list |

@@ -42,6 +42,7 @@ from repro.core.backends import (
 from repro.core.step import IterationContext, PipelineStep, StepReport
 from repro.core.scoring_step import (
     ParallelScoringStep,
+    ProcessScoringStep,
     ScoringStep,
     VectorizedScoringStep,
 )
@@ -62,6 +63,7 @@ from repro.core.redistribution import (
 )
 from repro.core.rendering_step import (
     ParallelRenderingStep,
+    ProcessRenderingStep,
     RenderingStep,
     VectorizedRenderingStep,
 )
@@ -91,6 +93,7 @@ __all__ = [
     "ScoringStep",
     "VectorizedScoringStep",
     "ParallelScoringStep",
+    "ProcessScoringStep",
     "SortingStep",
     "VectorizedSortingStep",
     "ReductionStep",
@@ -113,6 +116,7 @@ __all__ = [
     "RenderingStep",
     "VectorizedRenderingStep",
     "ParallelRenderingStep",
+    "ProcessRenderingStep",
     "ENGINE_BACKENDS",
     "ExecutionEngine",
     "PerformanceMonitor",

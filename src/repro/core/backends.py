@@ -6,8 +6,9 @@ registry, keyed by ``(step_name, backend)``.  A :data:`StepFactory` is a
 callable receiving a :class:`StepBuildContext` (the engine's already-built
 collaborators: config, platform, communicator, metric, strategy) and
 returning the step instance.  The built-in backends — ``"serial"``,
-``"vectorized"``, ``"parallel"`` — register their fifteen factories at import
-time; :func:`engine_backends` derives the authoritative backend tuple from
+``"vectorized"``, ``"parallel"``, ``"process"`` — register their twenty
+factories at import time; :func:`engine_backends` derives the authoritative
+backend tuple from
 the registrations, so ``ENGINE_BACKENDS`` is a *view* of the registry rather
 than a second source of truth.
 
@@ -46,11 +47,13 @@ from repro.core.reduction_step import (
 )
 from repro.core.rendering_step import (
     ParallelRenderingStep,
+    ProcessRenderingStep,
     RenderingStep,
     VectorizedRenderingStep,
 )
 from repro.core.scoring_step import (
     ParallelScoringStep,
+    ProcessScoringStep,
     ScoringStep,
     VectorizedScoringStep,
 )
@@ -268,6 +271,46 @@ register_step_backend(
     "rendering",
     "parallel",
     lambda ctx: ParallelRenderingStep(
+        ctx.platform,
+        isosurface_level=ctx.config.isosurface_level,
+        render_mode=ctx.config.render_mode,
+    ),
+)
+
+# -- the "process" backend ------------------------------------------------------
+#
+# The two data-parallel hot steps fan out over the shared process pool with
+# payloads crossing zero-copy through grid.shm segments; the other three
+# steps deliberately reuse existing implementations:
+#
+# * sorting is a rooted collective (rank 0 sorts, everyone receives one
+#   broadcast) — there is no per-rank work to ship to another process;
+# * reduction reads 8 corner values per selected block, so shipping payloads
+#   to workers costs orders of magnitude more than the gather itself —
+#   the vectorised in-process pass is the faster "process" implementation;
+# * redistribution is a collective exchange plus a searchsorted/bincount
+#   planner that is already a single NumPy pass.
+
+register_step_backend(
+    "scoring",
+    "process",
+    lambda ctx: ProcessScoringStep(ctx.metric, ctx.platform),
+)
+register_step_backend(
+    "sorting", "process", lambda ctx: VectorizedSortingStep(ctx.comm)
+)
+register_step_backend(
+    "reduction", "process", lambda ctx: VectorizedReductionStep(ctx.platform)
+)
+register_step_backend(
+    "redistribution",
+    "process",
+    lambda ctx: RedistributionStep(ctx.strategy, ctx.comm),
+)
+register_step_backend(
+    "rendering",
+    "process",
+    lambda ctx: ProcessRenderingStep(
         ctx.platform,
         isosurface_level=ctx.config.isosurface_level,
         render_mode=ctx.config.render_mode,

@@ -6,7 +6,7 @@ times (the rendering ends with a synchronous composition, so the slowest
 process drives the total — the load-imbalance effect the redistribution step
 attacks).
 
-Like the scoring step, the rendering step comes in three implementations of
+Like the scoring step, the rendering step comes in four implementations of
 one contract, selected by ``PipelineConfig.engine``:
 
 * :class:`RenderingStep` — the reference loop: every rank's blocks go through
@@ -19,7 +19,11 @@ one contract, selected by ``PipelineConfig.engine``:
   per-block extraction;
 * :class:`ParallelRenderingStep` — the vectorised per-rank batch path fanned
   out over a ``concurrent.futures`` thread pool across ranks; in mesh mode
-  the work items are per-shape block chunks, reassembled in block order.
+  the work items are per-shape block chunks, reassembled in block order;
+* :class:`ProcessRenderingStep` — counting mode fanned out over the shared
+  process pool, payloads crossing zero-copy through
+  :class:`~repro.grid.shm.SharedBlockBatch` segments (mesh mode falls back
+  to the vectorised path).
 
 All backends produce identical counts, triangle estimates, and modelled
 seconds — measured wall-clock is the one quantity that legitimately differs.
@@ -27,7 +31,7 @@ seconds — measured wall-clock is the one quantity that legitimately differs.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -35,10 +39,17 @@ import numpy as np
 from repro.core.step import IterationContext, StepReport
 from repro.grid.batch import group_positions_by_shape
 from repro.grid.block import Block
+from repro.grid.shm import SharedBlockBatch, ShmBatchHandle
 from repro.perfmodel.platform import PlatformModel
 from repro.utils.pool import LazyThreadPool
+from repro.utils.procpool import (
+    chunk_bounds,
+    default_process_workers,
+    shared_process_pool,
+)
 from repro.utils.timer import Timer
 from repro.viz.catalyst import CatalystPipeline, IsosurfaceScript, RenderResult
+from repro.viz.marching_cubes import count_active_cells_batch
 from repro.viz.mesh import TriangleMesh
 
 
@@ -159,7 +170,7 @@ class VectorizedRenderingStep(RenderingStep):
             all_blocks.extend(blocks)
         results: List[RenderResult] = []
         with Timer() as timer:
-            counts = self.script.count_blocks_batched(all_blocks)
+            counts = self._count_all(all_blocks)
             for (lo, hi), blocks in zip(rank_slices, per_rank_blocks):
                 result = RenderResult(
                     script_name=self.script.name, iteration=iteration
@@ -175,6 +186,10 @@ class VectorizedRenderingStep(RenderingStep):
                 elapsed * (result.npoints / total_points) if total_points else 0.0
             )
         return results
+
+    def _count_all(self, blocks: Sequence[Block]) -> np.ndarray:
+        """Per-block active-cell counts (the counting-mode backend hook)."""
+        return self.script.count_blocks_batched(blocks)
 
 
 class ParallelRenderingStep(VectorizedRenderingStep):
@@ -286,3 +301,89 @@ class ParallelRenderingStep(VectorizedRenderingStep):
             result.measured_seconds = elapsed[rank] + timer.elapsed
             results.append(result)
         return results
+
+
+def _count_shared_batch(
+    level: float, handle: ShmBatchHandle, lo: int, hi: int
+) -> np.ndarray:
+    """Process-pool worker: active-cell counts for rows ``[lo, hi)`` of a
+    shared stacked payload.  ``count_active_cells_batch`` treats every block
+    independently, so counts do not depend on the chunk boundaries."""
+    view = SharedBlockBatch.attach(handle)
+    try:
+        return count_active_cells_batch(view.data[lo:hi], level)
+    finally:
+        view.close()
+
+
+class ProcessRenderingStep(VectorizedRenderingStep):
+    """Counting-mode rendering fanned out over the shared process pool.
+
+    The cross-rank assembly of :class:`VectorizedRenderingStep` is kept; only
+    the per-block counting moves to worker processes.  Each shape group's
+    stacked payload crosses the boundary once through a
+    :class:`~repro.grid.shm.SharedBlockBatch` segment and workers count
+    contiguous row ranges of the shared view, so the task queue carries only
+    handles and bounds.  Counts — and everything derived from them — are
+    bitwise identical to the other backends'.
+
+    Mesh mode extracts real per-block geometry; the meshes cannot be stacked
+    into a shared segment, and pickling them back to the parent costs more
+    than the extraction itself, so mesh mode falls back to the inherited
+    vectorised path (a documented serial fallback, like the sorting /
+    reduction / redistribution steps of this backend).
+    """
+
+    def __init__(
+        self,
+        platform: PlatformModel,
+        isosurface_level: float = 45.0,
+        render_mode: str = "count",
+        render_image: bool = False,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            platform,
+            isosurface_level=isosurface_level,
+            render_mode=render_mode,
+            render_image=render_image,
+        )
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = int(max_workers or default_process_workers())
+
+    @property
+    def pool(self) -> ProcessPoolExecutor:
+        """The engine-wide shared process pool (created on first use)."""
+        return shared_process_pool()
+
+    def _count_all(self, blocks: Sequence[Block]) -> np.ndarray:
+        counts = np.zeros(len(blocks), dtype=np.int64)
+        shared: List[SharedBlockBatch] = []
+        pending: List[Tuple[List[int], Future]] = []
+        try:
+            for indices in group_positions_by_shape(blocks):
+                segment = SharedBlockBatch.create(
+                    np.stack([blocks[i].data for i in indices])
+                )
+                shared.append(segment)
+                handle = segment.handle()
+                for lo, hi in chunk_bounds(len(indices), 2 * self.max_workers):
+                    pending.append(
+                        (
+                            indices[lo:hi],
+                            self.pool.submit(
+                                _count_shared_batch,
+                                self.script.level,
+                                handle,
+                                lo,
+                                hi,
+                            ),
+                        )
+                    )
+            for chunk, future in pending:
+                counts[chunk] = np.asarray(future.result(), dtype=np.int64)
+        finally:
+            for segment in shared:
+                segment.dispose()
+        return counts

@@ -6,7 +6,7 @@ per-point cost times the rank's point count, and the step ends at the global
 sort (a collective), so the slowest rank determines the step's contribution to
 the iteration time.
 
-Three implementations of the same contract are provided:
+Four implementations of the same contract are provided:
 
 * :class:`ScoringStep` — routes every rank's blocks through
   ``metric.score_blocks`` (a per-block loop by default, but user metrics that
@@ -19,15 +19,20 @@ Three implementations of the same contract are provided:
 * :class:`ParallelScoringStep` — same grouping, but the groups (split into
   chunks) are fanned out over a ``concurrent.futures`` thread pool, so even
   metrics whose scoring is inherently per-block (user-supplied scalar
-  metrics) scale with cores.
+  metrics) scale with cores;
+* :class:`ProcessScoringStep` — the same chunking fanned out over the shared
+  *process* pool, with payloads crossing the boundary zero-copy through
+  :class:`~repro.grid.shm.SharedBlockBatch` segments.  This is the backend
+  for GIL-bound metrics (pure-Python scalar scorers), which threads cannot
+  speed up at all.
 
-All three produce bitwise-identical scores, so the execution engine can pick
+All four produce bitwise-identical scores, so the execution engine can pick
 any backend without perturbing any downstream decision.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -35,9 +40,15 @@ import numpy as np
 from repro.core.step import IterationContext, StepReport
 from repro.grid.batch import group_positions_by_shape
 from repro.grid.block import Block
+from repro.grid.shm import SharedBlockBatch, ShmBatchHandle
 from repro.metrics.base import ScoreMetric
 from repro.perfmodel.platform import PlatformModel
 from repro.utils.pool import LazyThreadPool
+from repro.utils.procpool import (
+    chunk_bounds,
+    default_process_workers,
+    shared_process_pool,
+)
 from repro.utils.timer import Timer
 
 ScorePair = Tuple[int, float]
@@ -296,4 +307,116 @@ class ParallelScoringStep(VectorizedScoringStep):
 
         for chunk, chunk_scores in zip(chunks, self.pool.map(score_chunk, chunks)):
             scores[chunk] = np.asarray(chunk_scores, dtype=np.float64)
+        return [float(s) for s in scores]
+
+
+# -- process-pool workers -----------------------------------------------------
+#
+# Top-level functions (pickled by reference into the worker processes); the
+# payload arrives as a SharedBlockBatch handle, never as bytes.
+
+
+def _score_shared_batch(
+    metric: ScoreMetric, handle: ShmBatchHandle, lo: int, hi: int
+) -> np.ndarray:
+    """Score rows ``[lo, hi)`` of a shared stacked payload via ``score_batch``."""
+    view = SharedBlockBatch.attach(handle)
+    try:
+        return np.asarray(metric.score_batch(view.data[lo:hi]), dtype=np.float64)
+    finally:
+        view.close()
+
+
+def _score_shared_blocks(
+    metric: ScoreMetric, handle: ShmBatchHandle, lo: int, hi: int
+) -> np.ndarray:
+    """Score rows ``[lo, hi)`` one block at a time via ``score_block``.
+
+    This per-row loop is the GIL-bound work the process backend exists for:
+    each worker process runs its own interpreter, so ``hi - lo`` pure-Python
+    scoring calls proceed concurrently across cores.
+    """
+    view = SharedBlockBatch.attach(handle)
+    try:
+        data = view.data
+        return np.array(
+            [metric.score_block(data[i]) for i in range(lo, hi)], dtype=np.float64
+        )
+    finally:
+        view.close()
+
+
+class ProcessScoringStep(VectorizedScoringStep):
+    """Scores block chunks on the shared process pool, payloads via shm.
+
+    Same cross-rank grouping and chunking as :class:`ParallelScoringStep`,
+    but each shape group's stacked payload is copied once into a
+    :class:`~repro.grid.shm.SharedBlockBatch` segment and workers score
+    contiguous row ranges of the shared view — the task queue only ever
+    carries the metric, a segment handle, and two integers.  Because worker
+    processes do not share the GIL, this is the backend that makes
+    *pure-Python* per-block metrics scale with cores; for GIL-releasing
+    NumPy metrics the thread backend remains the better choice (no segment
+    copy, no task pickling).
+
+    The metric must be picklable (the built-in metrics are plain
+    dataclasses; user metrics must be module-level classes).  Metrics that
+    override ``score_blocks`` with cross-block semantics are routed through
+    the unchunked reference path, exactly as in the thread backend.  Every
+    segment is disposed in a ``finally`` block, so worker exceptions cannot
+    leak shared memory.
+    """
+
+    name = "scoring"
+
+    def __init__(
+        self,
+        metric: ScoreMetric,
+        platform: PlatformModel,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        super().__init__(metric, platform)
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = int(max_workers or default_process_workers())
+
+    @property
+    def pool(self) -> ProcessPoolExecutor:
+        """The engine-wide shared process pool (created on first use)."""
+        return shared_process_pool()
+
+    def _score_rank(self, blocks: Sequence[Block]) -> List[float]:
+        if not blocks:
+            return []
+        overridden = type(self.metric).score_blocks is not ScoreMetric.score_blocks
+        if not self.metric.supports_batch and overridden:
+            # Cross-block semantics: one unchunked call (see class docs).
+            return ScoringStep._score_rank(self, blocks)
+        worker = (
+            _score_shared_batch
+            if self.metric.supports_batch
+            else _score_shared_blocks
+        )
+        scores = np.empty(len(blocks), dtype=np.float64)
+        shared: List[SharedBlockBatch] = []
+        pending: List[Tuple[List[int], Future]] = []
+        try:
+            for indices in group_positions_by_shape(blocks):
+                segment = SharedBlockBatch.create(
+                    np.stack([blocks[i].data for i in indices])
+                )
+                shared.append(segment)
+                handle = segment.handle()
+                for lo, hi in chunk_bounds(len(indices), 2 * self.max_workers):
+                    pending.append(
+                        (
+                            indices[lo:hi],
+                            self.pool.submit(worker, self.metric, handle, lo, hi),
+                        )
+                    )
+            for chunk, future in pending:
+                scores[chunk] = np.asarray(future.result(), dtype=np.float64)
+        finally:
+            for segment in shared:
+                segment.dispose()
         return [float(s) for s in scores]

@@ -16,6 +16,12 @@ in bulk (lossless ``from_blocks``/``to_blocks`` round-tripping).
 from repro.grid.rectilinear import RectilinearGrid
 from repro.grid.block import Block, BlockExtent
 from repro.grid.batch import BlockBatch, group_positions_by_shape, partition_by_shape
+from repro.grid.shm import (
+    SharedBatchError,
+    SharedBlockBatch,
+    ShmBatchHandle,
+    live_owned_segments,
+)
 from repro.grid.domain import Domain, Subdomain
 from repro.grid.decomposition import (
     CartesianDecomposition,
@@ -38,6 +44,10 @@ __all__ = [
     "BlockBatch",
     "group_positions_by_shape",
     "partition_by_shape",
+    "SharedBatchError",
+    "SharedBlockBatch",
+    "ShmBatchHandle",
+    "live_owned_segments",
     "Domain",
     "Subdomain",
     "CartesianDecomposition",

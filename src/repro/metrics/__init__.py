@@ -27,7 +27,12 @@ implement the rank-agreement and scoremap analyses of Figures 3 and 4.
 """
 
 from repro.metrics.base import ScoreMetric, MetricCost
-from repro.metrics.statistics import RangeMetric, VarianceMetric, StdDevMetric
+from repro.metrics.statistics import (
+    PythonVarianceMetric,
+    RangeMetric,
+    StdDevMetric,
+    VarianceMetric,
+)
 from repro.metrics.entropy import HistogramEntropyMetric, LocalEntropyMetric
 from repro.metrics.bytewise import BytewiseEntropyMetric
 from repro.metrics.interpolation import TrilinearErrorMetric
@@ -46,6 +51,7 @@ __all__ = [
     "ScoreMetric",
     "MetricCost",
     "RangeMetric",
+    "PythonVarianceMetric",
     "VarianceMetric",
     "StdDevMetric",
     "HistogramEntropyMetric",

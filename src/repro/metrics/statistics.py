@@ -5,6 +5,9 @@
   is a block with high variation inside a small range.
 * ``VAR`` scores a block by the variance of its values, which fixes that
   blind spot and is the cheapest metric of the whole family (Table I).
+* ``PythonVarianceMetric`` is a deliberately pure-Python scalar scorer — the
+  stand-in for the user-supplied metrics the paper expects domain scientists
+  to plug in, used by the engine benchmarks to measure GIL-bound scoring.
 """
 
 from __future__ import annotations
@@ -48,6 +51,43 @@ class VarianceMetric(ScoreMetric):
         arr = self._prepare_batch(batch)
         flat = arr.reshape(arr.shape[0], -1)
         return np.var(flat, axis=1).astype(np.float64)
+
+
+class PythonVarianceMetric(ScoreMetric):
+    """Pure-Python scalar variance (the GIL-bound reference scorer).
+
+    Scores a block with Welford's online variance over a Python loop,
+    holding the GIL for the whole call — exactly what a user-supplied
+    scalar metric written without NumPy looks like.  The thread backend
+    cannot speed such a metric up at all (the loop never releases the GIL);
+    the process backend can, which is what the engine benchmarks measure.
+    ``stride`` subsamples the block to keep the absolute cost at benchmark
+    scale; scoring stays deterministic, so all backends agree bitwise.
+
+    Not registered in the metric registry: it exists as a benchmark/test
+    workload, not as a scoring recommendation.
+    """
+
+    name = "PYVAR"
+    cost = MetricCost(per_point=4.9e-8)
+    supports_batch = False
+
+    def __init__(self, stride: int = 1) -> None:
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        self.stride = int(stride)
+
+    def score_block(self, data: np.ndarray) -> float:
+        arr = self._prepare(data)
+        count = 0
+        mean = 0.0
+        m2 = 0.0
+        for value in arr.ravel()[:: self.stride].tolist():
+            count += 1
+            delta = value - mean
+            mean += delta / count
+            m2 += delta * (value - mean)
+        return m2 / count if count else 0.0
 
 
 class StdDevMetric(ScoreMetric):

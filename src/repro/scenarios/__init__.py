@@ -16,7 +16,9 @@ block decomposition — registered in a global registry
   parity sweep over :func:`scenario_names`, so every newly registered
   workload is parity-tested for free;
 * :func:`scaling_variants` derives weak/strong-scaling rank sweeps from any
-  registered entry.
+  registered entry, and :func:`model_scaling_sweep` prices those sweeps
+  through the cost models alone — which is how rank counts like the
+  registered ``blue_waters_weak_10k`` (10,000 virtual ranks) stay tractable.
 
 Importing this package registers the built-in catalogue
 (:mod:`repro.scenarios.catalog`): the paper's two Blue Waters scales, the
@@ -34,6 +36,7 @@ from repro.scenarios.registry import (
 )
 from repro.scenarios.scaling import scaling_variants
 from repro.scenarios.spec import ScenarioConfig, ScenarioFactory, ScenarioSpec
+from repro.scenarios.sweep import model_scaling_point, model_scaling_sweep
 
 # Importing the catalogue registers the built-in workloads.
 import repro.scenarios.catalog  # noqa: E402,F401  (registration side effect)
@@ -44,6 +47,8 @@ __all__ = [
     "ScenarioSpec",
     "create_scenario_config",
     "get_scenario",
+    "model_scaling_point",
+    "model_scaling_sweep",
     "register_scenario",
     "scaling_variants",
     "scenario_names",

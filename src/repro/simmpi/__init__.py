@@ -11,11 +11,14 @@ The paper runs on Blue Waters with real MPI; this environment has neither, so
   uses this layer: it scales to hundreds of virtual ranks in a single
   process and is fully deterministic.
 
-* :class:`SimRuntime` / :class:`RankCommunicator` — a thread-based SPMD
-  runtime with an mpi4py-like API (``send``/``recv``/``isend``/``bcast``/
-  ``gather``/``allreduce``/...).  Each virtual rank runs the same function in
-  its own thread, which is convenient for writing code that looks like real
-  MPI programs (examples and tests use it at small rank counts).
+* :class:`SimRuntime` / :class:`RankCommunicator` /
+  :class:`ProcessRankCommunicator` — an SPMD runtime with an mpi4py-like API
+  (``send``/``recv``/``isend``/``bcast``/``gather``/``allreduce``/...).
+  Each virtual rank runs the same function in its own thread
+  (``mode="thread"``, the default) or its own OS process
+  (``mode="process"``, for GIL-bound rank code), which is convenient for
+  writing code that looks like real MPI programs (examples and tests use it
+  at small rank counts).
 
 Both layers share :class:`NetworkCostModel` and :class:`VirtualClocks`.
 """
@@ -23,8 +26,9 @@ Both layers share :class:`NetworkCostModel` and :class:`VirtualClocks`.
 from repro.simmpi.costmodel import NetworkCostModel
 from repro.simmpi.timing import VirtualClocks
 from repro.simmpi.communicator import BSPCommunicator
-from repro.simmpi.runtime import SimRuntime
+from repro.simmpi.runtime import RankResult, SimRuntime, SPMDError
 from repro.simmpi.rankcomm import RankCommunicator
+from repro.simmpi.processcomm import ProcessRankCommunicator, RemoteRankError
 from repro.simmpi.requests import Request
 from repro.simmpi.sort import (
     parallel_sort_pairs,
@@ -37,7 +41,11 @@ __all__ = [
     "VirtualClocks",
     "BSPCommunicator",
     "SimRuntime",
+    "SPMDError",
+    "RankResult",
     "RankCommunicator",
+    "ProcessRankCommunicator",
+    "RemoteRankError",
     "Request",
     "parallel_sort_pairs",
     "parallel_sort_pairs_numpy",

@@ -13,6 +13,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.utils.validation import ensure_positive
 
 
@@ -49,6 +51,17 @@ class NetworkCostModel:
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")
         return self.latency + nbytes / self.bandwidth
 
+    def p2p_batch(self, nbytes: "np.ndarray") -> "np.ndarray":
+        """Vectorised :meth:`p2p`: per-message costs of a byte-count array.
+
+        Sweeps price thousands of messages per virtual iteration; this prices
+        them all in one NumPy pass, elementwise identical to :meth:`p2p`.
+        """
+        arr = np.asarray(nbytes)
+        if arr.size and arr.min() < 0:
+            raise ValueError(f"nbytes must be >= 0, got {arr.min()}")
+        return self.latency + arr / self.bandwidth
+
     # -- collectives ----------------------------------------------------------
 
     def _log2p(self, nranks: int) -> float:
@@ -57,7 +70,7 @@ class NetworkCostModel:
     def barrier(self, nranks: int) -> float:
         """Dissemination barrier: ``ceil(log2 P)`` latency-bound rounds."""
         self._check_ranks(nranks)
-        return self._log2p(nranks) * self.latency + nranks * 0.0 + self.per_rank_overhead
+        return self._log2p(nranks) * self.latency + self.per_rank_overhead
 
     def bcast(self, nbytes: int, nranks: int) -> float:
         """Binomial-tree broadcast of ``nbytes`` to ``nranks`` ranks."""
@@ -110,6 +123,41 @@ class NetworkCostModel:
         ``send_matrix_bytes[i][j]`` is the number of bytes rank ``i`` sends to
         rank ``j``.  The cost is bounded by the most loaded rank (its total
         send + receive volume) plus one latency per distinct partner.
+
+        The matrix is priced in one NumPy pass — row sums give send volumes,
+        column sums give receive volumes — so a 10,000-rank exchange (10⁸
+        matrix cells) costs milliseconds instead of the minutes the
+        equivalent Python loop takes.  :meth:`alltoallv_loop` keeps the loop
+        as the reference; both paths return identical floats (byte counts
+        are exact int64 sums and the per-rank cost expression is evaluated
+        in the same order).
+        """
+        self._check_ranks(nranks)
+        m = np.asarray(send_matrix_bytes)
+        if m.shape != (nranks, nranks):
+            raise ValueError(
+                f"send matrix must have shape ({nranks}, {nranks}), got {m.shape}"
+            )
+        # Match the scalar path exactly: entries truncate to int, the
+        # diagonal never counts, and only positive entries carry volume.
+        # Masked sums instead of a mutated copy: at 10k ranks the matrix is
+        # 800 MB, so every avoided full-matrix write is a real win.
+        if not np.issubdtype(m.dtype, np.integer):
+            m = m.astype(np.int64)  # truncate like int()
+        positive = m > 0
+        np.fill_diagonal(positive, False)
+        send_bytes = m.sum(axis=1, where=positive, dtype=np.int64)
+        recv_bytes = m.sum(axis=0, where=positive, dtype=np.int64)
+        partners = positive.sum(axis=1) + positive.sum(axis=0)
+        cost = partners * self.latency + (send_bytes + recv_bytes) / self.bandwidth
+        worst = float(cost.max()) if nranks else 0.0
+        return max(0.0, worst) + self.per_rank_overhead
+
+    def alltoallv_loop(self, send_matrix_bytes, nranks: int) -> float:
+        """Reference O(P²) Python-loop pricing of :meth:`alltoallv`.
+
+        Kept for the parity tests and benchmarks that gate the vectorised
+        path; new code should call :meth:`alltoallv`.
         """
         self._check_ranks(nranks)
         worst = 0.0

@@ -1,0 +1,309 @@
+"""Per-rank communicator for the process-based SPMD runtime.
+
+Process-mode twin of :mod:`repro.simmpi.rankcomm`: each virtual rank runs in
+its own **OS process** (so GIL-bound rank code truly executes concurrently)
+and talks through a :class:`ProcessRankCommunicator` exposing the same
+mpi4py-lowercase API as the thread-mode :class:`RankCommunicator`.
+
+Plumbing differences from the thread runtime, which shares one address
+space:
+
+* point-to-point traffic flows through one ``multiprocessing.Queue`` inbox
+  per rank; envelopes are ``(src, tag, payload)`` triples and a per-rank
+  stash preserves arrival order for messages received while waiting for a
+  different ``(source, tag)`` channel;
+* there are no shared staging slots, so the collectives are built from
+  point-to-point messages on reserved negative tags (user code uses
+  non-negative tags, mirroring MPI's reserved-tag convention) — the fan-in /
+  fan-out shapes match the cost model's tree formulas in spirit, while the
+  *semantics* (fold order, root conventions, validation errors) match the
+  thread communicator exactly;
+* the barrier is a ``multiprocessing.Barrier``; a timeout surfaces as the
+  same ``TimeoutError`` the thread runtime raises.
+"""
+
+from __future__ import annotations
+
+import collections
+import pickle
+import queue
+import time
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.simmpi.requests import Request
+
+__all__ = ["ProcessRankCommunicator", "RemoteRankError"]
+
+# Reserved tags for the message-built collectives.  User tags are
+# non-negative, so internal traffic can never collide with user traffic on
+# the same (dst, src) channel.
+_TAG_BCAST = -1
+_TAG_GATHER = -2
+_TAG_SCATTER = -3
+_TAG_ALLTOALL = -4
+_TAG_AGATHER = -5
+_TAG_ABCAST = -6
+
+
+class RemoteRankError(RuntimeError):
+    """Stand-in for a worker-side failure that cannot cross the process
+    boundary as-is (unpicklable exception or result, hard crash)."""
+
+
+class ProcessRankCommunicator:
+    """The view one virtual rank (an OS process) has of the communicator.
+
+    Parameters
+    ----------
+    rank, nranks:
+        This process's rank and the communicator size.
+    inboxes:
+        One ``multiprocessing.Queue`` per rank; ``inboxes[r]`` is rank
+        ``r``'s receive queue.  Every rank may put into any inbox.
+    barrier:
+        A ``multiprocessing.Barrier`` sized for ``nranks``.
+    timeout:
+        Per-operation timeout in seconds (same contract as the thread
+        communicator).
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        nranks: int,
+        inboxes: Sequence[Any],
+        barrier: Any,
+        timeout: float = 60.0,
+    ) -> None:
+        self._rank = int(rank)
+        self._nranks = int(nranks)
+        self._inboxes = list(inboxes)
+        self._barrier = barrier
+        self._timeout = float(timeout)
+        # Envelopes that arrived while waiting on a different channel.
+        self._stash: Dict[Tuple[int, int], Deque[Any]] = collections.defaultdict(
+            collections.deque
+        )
+
+    # -- introspection (mpi4py naming) ------------------------------------
+
+    def Get_rank(self) -> int:
+        """Rank of the calling virtual process."""
+        return self._rank
+
+    def Get_size(self) -> int:
+        """Number of virtual processes in the communicator."""
+        return self._nranks
+
+    rank = property(Get_rank)
+    size = property(Get_size)
+
+    # -- point to point -----------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking send (buffered: enqueues and returns)."""
+        self._check_rank(dest)
+        self._inboxes[dest].put((self._rank, tag, obj))
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Blocking receive from ``source``."""
+        self._check_rank(source)
+        return self._recv(source, tag, self._timeout)
+
+    def _recv(self, source: int, tag: int, timeout: float) -> Any:
+        channel = (source, tag)
+        stashed = self._stash.get(channel)
+        if stashed:
+            return stashed.popleft()
+        deadline = time.monotonic() + timeout
+        inbox = self._inboxes[self._rank]
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"rank {self._rank}: recv from {source} tag {tag} timed out"
+                )
+            try:
+                src, msg_tag, payload = inbox.get(timeout=remaining)
+            except queue.Empty:
+                raise TimeoutError(
+                    f"rank {self._rank}: recv from {source} tag {tag} timed out"
+                ) from None
+            if (src, msg_tag) == channel:
+                return payload
+            self._stash[(src, msg_tag)].append(payload)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send; completes immediately (buffered semantics)."""
+        self.send(obj, dest, tag)
+        return Request("send", lambda timeout: None)
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        """Non-blocking receive; the payload is produced by ``wait()``."""
+        self._check_rank(source)
+
+        def resolve(timeout: Optional[float]) -> Any:
+            t = self._timeout if timeout is None else timeout
+            return self._recv(source, tag, max(t, 1e-9))
+
+        return Request("recv", resolve)
+
+    def sendrecv(self, obj: Any, dest: int, source: int, tag: int = 0) -> Any:
+        """Combined send to ``dest`` and receive from ``source``."""
+        self.send(obj, dest, tag)
+        return self.recv(source, tag)
+
+    # -- collectives -----------------------------------------------------------
+
+    def barrier(self) -> None:
+        """Synchronise all ranks."""
+        try:
+            self._barrier.wait(timeout=self._timeout)
+        except Exception:
+            raise TimeoutError(
+                f"rank {self._rank}: barrier timed out or broke"
+            ) from None
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root`` to all ranks."""
+        return self._bcast(obj, root, _TAG_BCAST)
+
+    def _bcast(self, obj: Any, root: int, tag: int) -> Any:
+        self._check_rank(root)
+        if self._rank == root:
+            for dest in range(self._nranks):
+                if dest != root:
+                    self.send(obj, dest, tag)
+            return obj
+        return self._recv(root, tag, self._timeout)
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        """Gather one object per rank at ``root`` (others get ``None``)."""
+        return self._gather(obj, root, _TAG_GATHER)
+
+    def _gather(self, obj: Any, root: int, tag: int) -> Optional[List[Any]]:
+        self._check_rank(root)
+        if self._rank != root:
+            self.send(obj, root, tag)
+            return None
+        values: List[Any] = [None] * self._nranks
+        values[root] = obj
+        for src in range(self._nranks):
+            if src != root:
+                values[src] = self._recv(src, tag, self._timeout)
+        return values
+
+    def allgather(self, obj: Any) -> List[Any]:
+        """Gather one object per rank on every rank."""
+        gathered = self._gather(obj, 0, _TAG_AGATHER)
+        return self._bcast(gathered, 0, _TAG_ABCAST)
+
+    def scatter(self, objs: Optional[List[Any]], root: int = 0) -> Any:
+        """Scatter ``objs`` (only meaningful at ``root``) so rank r gets objs[r]."""
+        self._check_rank(root)
+        if self._rank == root:
+            if objs is None or len(objs) != self._nranks:
+                raise ValueError("root must provide one object per rank")
+            for dest in range(self._nranks):
+                if dest != root:
+                    self.send(objs[dest], dest, _TAG_SCATTER)
+            return objs[root]
+        return self._recv(root, _TAG_SCATTER, self._timeout)
+
+    def reduce(
+        self, obj: Any, op: Callable[[Any, Any], Any] = None, root: int = 0
+    ) -> Any:
+        """Reduce per-rank objects with ``op`` (default sum) at ``root``."""
+        gathered = self.gather(obj, root=root)
+        if self._rank != root:
+            return None
+        return self._fold(gathered, op)
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+        """Reduce per-rank objects with ``op`` (default sum) on every rank."""
+        gathered = self.allgather(obj)
+        return self._fold(gathered, op)
+
+    def alltoall(self, objs: List[Any]) -> List[Any]:
+        """Each rank provides one object per destination; receives one per source."""
+        if len(objs) != self._nranks:
+            raise ValueError(
+                f"alltoall needs {self._nranks} objects, got {len(objs)}"
+            )
+        for dest in range(self._nranks):
+            if dest != self._rank:
+                self.send(objs[dest], dest, _TAG_ALLTOALL)
+        received: List[Any] = [None] * self._nranks
+        received[self._rank] = objs[self._rank]
+        for src in range(self._nranks):
+            if src != self._rank:
+                received[src] = self._recv(src, _TAG_ALLTOALL, self._timeout)
+        return received
+
+    def scan(self, obj: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+        """Inclusive prefix reduction over ranks 0..self."""
+        gathered = self.allgather(obj)
+        return self._fold(gathered[: self._rank + 1], op)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _fold(self, values: List[Any], op: Optional[Callable[[Any, Any], Any]]) -> Any:
+        if op is None:
+            op = lambda a, b: a + b  # noqa: E731
+        acc = values[0]
+        for v in values[1:]:
+            acc = op(acc, v)
+        return acc
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self._nranks):
+            raise ValueError(f"rank {rank} out of range [0, {self._nranks})")
+
+
+def _portable_failure(exc: BaseException) -> BaseException:
+    """``exc`` if it survives pickling, else a :class:`RemoteRankError`."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RemoteRankError(f"{type(exc).__name__}: {exc}")
+
+
+def _process_rank_main(
+    rank: int,
+    nranks: int,
+    inboxes: Sequence[Any],
+    barrier: Any,
+    timeout: float,
+    result_queue: Any,
+    func: Callable[..., Any],
+    args: Tuple[Any, ...],
+    kwargs: Dict[str, Any],
+) -> None:
+    """Entry point of one rank process: run ``func`` and report the outcome.
+
+    The outcome envelope is ``(rank, ok, payload)``; unpicklable results and
+    exceptions are replaced by :class:`RemoteRankError` so the envelope
+    itself always crosses the boundary.
+    """
+    comm = ProcessRankCommunicator(rank, nranks, inboxes, barrier, timeout)
+    try:
+        value = func(comm, *args, **kwargs)
+    except BaseException as exc:  # noqa: BLE001 - reported via SPMDError
+        result_queue.put((rank, False, _portable_failure(exc)))
+        return
+    try:
+        pickle.dumps(value)
+    except Exception as exc:
+        result_queue.put(
+            (
+                rank,
+                False,
+                RemoteRankError(
+                    f"rank {rank} returned an unpicklable value "
+                    f"({type(value).__name__}): {exc}"
+                ),
+            )
+        )
+    else:
+        result_queue.put((rank, True, value))

@@ -1,10 +1,22 @@
-"""Thread-based SPMD runtime.
+"""Thread- and process-based SPMD runtime.
 
-:class:`SimRuntime` runs the same Python function once per virtual rank, each
-in its own thread, handing every rank a
-:class:`~repro.simmpi.rankcomm.RankCommunicator`.  This gives library users a
-programming model that looks like real MPI code (the paper's pipeline is an
-SPMD program) without requiring an MPI installation.
+:class:`SimRuntime` runs the same Python function once per virtual rank,
+handing every rank a communicator with mpi4py-lowercase semantics.  This
+gives library users a programming model that looks like real MPI code (the
+paper's pipeline is an SPMD program) without requiring an MPI installation.
+
+Two execution modes share the same ``run(func, ...)`` API:
+
+* ``mode="thread"`` (default) — one thread per rank with a
+  :class:`~repro.simmpi.rankcomm.RankCommunicator` over shared memory.
+  Cheap to spin up, payloads shared for free, but GIL-bound rank code
+  serialises;
+* ``mode="process"`` — one OS process per rank with a
+  :class:`~repro.simmpi.processcomm.ProcessRankCommunicator` over
+  ``multiprocessing`` queues.  Rank code truly runs concurrently across
+  cores; ``func``'s arguments, return value, and any exception must be
+  picklable (unpicklable ones are reported as
+  :class:`~repro.simmpi.processcomm.RemoteRankError`).
 
 It is intended for modest rank counts (tests and examples use 4–16 ranks);
 large-scale experiments use the driver-side
@@ -13,11 +25,14 @@ large-scale experiments use the driver-side
 
 from __future__ import annotations
 
+import multiprocessing
+import queue as queue_module
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.simmpi.processcomm import RemoteRankError, _process_rank_main
 from repro.simmpi.rankcomm import RankCommunicator, _SharedState
 
 
@@ -45,7 +60,7 @@ class SPMDError(RuntimeError):
 
 
 class SimRuntime:
-    """Runs SPMD functions over ``nranks`` virtual ranks (one thread each).
+    """Runs SPMD functions over ``nranks`` virtual ranks.
 
     Parameters
     ----------
@@ -58,10 +73,19 @@ class SimRuntime:
         down before hung ranks are reported.  The grace is shared by all
         ranks (one absolute deadline), so a run with N hung ranks still
         fails after ``timeout + join_grace`` seconds, not N times that.
+    mode:
+        ``"thread"`` (default) or ``"process"`` — see the module docstring
+        for the trade-off.
     """
 
+    MODES: Tuple[str, ...] = ("thread", "process")
+
     def __init__(
-        self, nranks: int, timeout: float = 60.0, join_grace: float = 5.0
+        self,
+        nranks: int,
+        timeout: float = 60.0,
+        join_grace: float = 5.0,
+        mode: str = "thread",
     ) -> None:
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
@@ -69,17 +93,32 @@ class SimRuntime:
             raise ValueError(f"timeout must be > 0, got {timeout}")
         if join_grace < 0:
             raise ValueError(f"join_grace must be >= 0, got {join_grace}")
+        if mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
         self.nranks = int(nranks)
         self.timeout = float(timeout)
         self.join_grace = float(join_grace)
+        self.mode = mode
 
     def run(self, func: Callable[..., Any], *args: Any, **kwargs: Any) -> List[Any]:
         """Execute ``func(comm, *args, **kwargs)`` on every rank.
 
-        ``comm`` is the rank's :class:`RankCommunicator`.  Returns the list of
-        per-rank return values (indexed by rank).  If any rank raises, an
-        :class:`SPMDError` carrying all failures is raised instead.
+        ``comm`` is the rank's communicator (thread- or process-flavoured
+        depending on :attr:`mode`; both expose the same API).  Returns the
+        list of per-rank return values (indexed by rank).  If any rank
+        raises or hangs, an :class:`SPMDError` carrying *all* failures —
+        recorded exceptions and synthetic ``TimeoutError``s for hung ranks
+        alike — is raised instead.
         """
+        if self.mode == "process":
+            return self._run_processes(func, args, kwargs)
+        return self._run_threads(func, args, kwargs)
+
+    # -- thread mode --------------------------------------------------------
+
+    def _run_threads(
+        self, func: Callable[..., Any], args: Tuple[Any, ...], kwargs: Dict[str, Any]
+    ) -> List[Any]:
         shared = _SharedState(self.nranks)
         results: List[RankResult] = [RankResult(rank=r) for r in range(self.nranks)]
 
@@ -102,16 +141,102 @@ class SimRuntime:
         deadline = time.monotonic() + self.timeout + self.join_grace
         for t in threads:
             t.join(timeout=max(0.0, deadline - time.monotonic()))
-        hung = [t for t in threads if t.is_alive()]
-        if hung:
-            raise SPMDError(
-                [
-                    RankResult(rank=i, exception=TimeoutError("rank did not terminate"))
-                    for i, t in enumerate(threads)
-                    if t.is_alive()
-                ]
-            )
+        hung = [r for r, t in enumerate(threads) if t.is_alive()]
         failures = [r for r in results if not r.ok]
+        if hung:
+            # A hung rank must not mask the real failures recorded so far —
+            # the raiser is usually the root cause and the hang its symptom
+            # (e.g. a sibling stuck in a collective the raiser abandoned).
+            already_failed = {f.rank for f in failures}
+            failures.extend(
+                RankResult(rank=r, exception=TimeoutError("rank did not terminate"))
+                for r in hung
+                if r not in already_failed
+            )
+            failures.sort(key=lambda f: f.rank)
         if failures:
             raise SPMDError(failures)
         return [r.value for r in results]
+
+    # -- process mode -------------------------------------------------------
+
+    def _run_processes(
+        self, func: Callable[..., Any], args: Tuple[Any, ...], kwargs: Dict[str, Any]
+    ) -> List[Any]:
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+        inboxes = [ctx.Queue() for _ in range(self.nranks)]
+        barrier = ctx.Barrier(self.nranks)
+        result_queue = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=_process_rank_main,
+                args=(
+                    r,
+                    self.nranks,
+                    inboxes,
+                    barrier,
+                    self.timeout,
+                    result_queue,
+                    func,
+                    args,
+                    kwargs,
+                ),
+                name=f"simmpi-rank-{r}",
+                daemon=True,
+            )
+            for r in range(self.nranks)
+        ]
+        for p in procs:
+            p.start()
+
+        deadline = time.monotonic() + self.timeout + self.join_grace
+        reported: Dict[int, RankResult] = {}
+        while len(reported) < self.nranks:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                rank, ok, payload = result_queue.get(timeout=min(remaining, 0.25))
+            except queue_module.Empty:
+                # All processes dead with nothing queued: no more results
+                # will ever arrive; stop waiting out the full deadline.
+                if not any(p.is_alive() for p in procs):
+                    break
+                continue
+            reported[rank] = RankResult(
+                rank=rank,
+                value=payload if ok else None,
+                exception=None if ok else payload,
+            )
+
+        hung: List[int] = []
+        for r, p in enumerate(procs):
+            p.join(timeout=max(0.0, deadline - time.monotonic()))
+            if p.is_alive():
+                p.terminate()
+                p.join(1.0)
+                hung.append(r)
+
+        failures = [res for res in reported.values() if not res.ok]
+        for r in range(self.nranks):
+            if r in reported:
+                continue
+            if r in hung:
+                failures.append(
+                    RankResult(rank=r, exception=TimeoutError("rank did not terminate"))
+                )
+            else:
+                failures.append(
+                    RankResult(
+                        rank=r,
+                        exception=RemoteRankError(
+                            f"rank exited with code {procs[r].exitcode} "
+                            "without reporting a result"
+                        ),
+                    )
+                )
+        if failures:
+            failures.sort(key=lambda f: f.rank)
+            raise SPMDError(failures)
+        return [reported[r].value for r in range(self.nranks)]

@@ -1,0 +1,112 @@
+"""Machine-readable benchmark records (``BENCH_engine.json``).
+
+The engine benchmarks print human-readable timings; CI additionally wants a
+machine-readable artefact it can upload and diff across runs.  Every gated
+measurement calls :func:`record_bench` with the scenario, backend, measured
+seconds, and speedup; the accumulated records are rewritten to
+``benchmarks/output/BENCH_engine.json`` after *each* call, so the artefact
+survives an aborted (``pytest -x``) run with everything measured up to the
+failure.
+
+Records are keyed by ``(gate, scenario, backend)``: re-measuring a gate in
+the same or a later process replaces its record instead of appending a
+duplicate, and records written by earlier processes are preserved (the file
+is re-read before every rewrite).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+__all__ = ["default_bench_path", "record_bench"]
+
+_FILENAME = "BENCH_engine.json"
+
+
+def default_bench_path() -> Path:
+    """``benchmarks/output/BENCH_engine.json`` next to this repository's benchmarks."""
+    repo_root = Path(__file__).resolve().parents[3]
+    return repo_root / "benchmarks" / "output" / _FILENAME
+
+
+def _load_records(path: Path) -> Dict[Tuple[str, str, str], dict]:
+    if not path.exists():
+        return {}
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return {}
+    records = {}
+    for record in payload.get("records", []):
+        key = (
+            str(record.get("gate", "")),
+            str(record.get("scenario", "")),
+            str(record.get("backend", "")),
+        )
+        records[key] = record
+    return records
+
+
+def record_bench(
+    gate: str,
+    scenario: str,
+    backend: str,
+    seconds: float,
+    baseline_backend: Optional[str] = None,
+    baseline_seconds: Optional[float] = None,
+    speedup: Optional[float] = None,
+    passed: Optional[bool] = None,
+    path: Optional[Path] = None,
+    **extra,
+) -> Path:
+    """Record one benchmark measurement and rewrite the JSON artefact.
+
+    Parameters
+    ----------
+    gate:
+        Name of the benchmark gate (e.g. ``"scoring_speedup"``).
+    scenario, backend:
+        Workload and engine backend the measurement ran on.
+    seconds:
+        Measured wall-clock seconds of the gated backend.
+    baseline_backend, baseline_seconds:
+        The reference the speedup is taken against, when there is one.
+    speedup:
+        ``baseline_seconds / seconds``; derived automatically when omitted
+        and a baseline is given.
+    passed:
+        Whether the gate's assertion held (``None`` for pure measurements).
+    path:
+        Target file; defaults to :func:`default_bench_path`.
+    extra:
+        Additional JSON-serialisable fields stored verbatim on the record.
+    """
+    target = Path(path) if path is not None else default_bench_path()
+    if speedup is None and baseline_seconds is not None and seconds > 0:
+        speedup = baseline_seconds / seconds
+    record = {
+        "gate": str(gate),
+        "scenario": str(scenario),
+        "backend": str(backend),
+        "seconds": float(seconds),
+    }
+    if baseline_backend is not None:
+        record["baseline_backend"] = str(baseline_backend)
+    if baseline_seconds is not None:
+        record["baseline_seconds"] = float(baseline_seconds)
+    if speedup is not None:
+        record["speedup"] = float(speedup)
+    if passed is not None:
+        record["passed"] = bool(passed)
+    record.update(extra)
+
+    records = _load_records(target)
+    records[(record["gate"], record["scenario"], record["backend"])] = record
+    ordered = sorted(
+        records.values(), key=lambda r: (r["gate"], r["scenario"], r["backend"])
+    )
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps({"records": ordered}, indent=2) + "\n")
+    return target

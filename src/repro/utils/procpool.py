@@ -1,0 +1,81 @@
+"""Shared lazy process-pool helper for the process pipeline steps.
+
+Mirror of :mod:`repro.utils.pool`, but for ``ProcessPoolExecutor``: where
+threads are the right pool for GIL-releasing NumPy kernels, processes are
+the right pool for *GIL-bound* per-block Python work (scalar user metrics,
+pure-Python scoring loops).  Worker processes are expensive to start, so a
+single module-level pool is shared by every process step in the engine and
+created lazily on first submit.
+
+The pool uses the ``fork`` start method where available: forked workers
+start in milliseconds and inherit the parent's imports, and every fork
+happens from the driver thread while no step threads hold locks (the
+process backend never nests inside the thread backend).  Payloads cross
+the boundary through :mod:`repro.grid.shm` segments, so tasks themselves
+only carry handles and small metadata.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "chunk_bounds",
+    "default_process_workers",
+    "shared_process_pool",
+    "shutdown_shared_pool",
+]
+
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_LOCK = threading.Lock()
+
+
+def default_process_workers() -> int:
+    """Worker count for the shared pool (same cap as the thread pools)."""
+    return min(16, os.cpu_count() or 1)
+
+
+def _start_context() -> multiprocessing.context.BaseContext:
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def shared_process_pool() -> ProcessPoolExecutor:
+    """The process-wide worker pool, created on first use."""
+    global _POOL
+    with _POOL_LOCK:
+        if _POOL is None:
+            _POOL = ProcessPoolExecutor(
+                max_workers=default_process_workers(), mp_context=_start_context()
+            )
+        return _POOL
+
+
+def shutdown_shared_pool() -> None:
+    """Tear down the shared pool (tests / interpreter exit)."""
+    global _POOL
+    with _POOL_LOCK:
+        pool, _POOL = _POOL, None
+    if pool is not None:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(shutdown_shared_pool)
+
+
+def chunk_bounds(n: int, nchunks: int) -> List[Tuple[int, int]]:
+    """Split ``range(n)`` into at most ``nchunks`` contiguous, non-empty
+    ``(lo, hi)`` slices of near-equal size (same ``np.linspace`` splitting
+    the parallel steps use, so chunk boundaries never affect results)."""
+    if n <= 0:
+        return []
+    nchunks = max(1, min(int(nchunks), n))
+    bounds = np.linspace(0, n, nchunks + 1).astype(int)
+    return [(int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]

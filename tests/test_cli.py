@@ -50,6 +50,15 @@ class TestList:
         assert "squall_line" in names
         assert "blue_waters_64" not in names
 
+    def test_json_reports_parity_verified_backends(self, capsys):
+        """Every entry advertises the backends the parity sweep verifies —
+        the same registry ``repro run --backend`` resolves against."""
+        _, out, _ = run_cli(capsys, "list", "--json")
+        for entry in json.loads(out):
+            assert entry["parity_backends"] == [
+                "serial", "vectorized", "parallel", "process",
+            ]
+
 
 class TestRun:
     def test_tiny_writes_parseable_summary(self, capsys, tmp_path):
@@ -127,6 +136,68 @@ class TestRun:
         assert code != 0 and "VAR" in err
         code, _, err = run_cli(capsys, "run", "tiny", "--backend", "quantum")
         assert code != 0 and "vectorized" in err
+
+    def test_unknown_backend_error_offers_process(self, capsys):
+        code, _, err = run_cli(capsys, "run", "tiny", "--backend", "bogus")
+        assert code != 0
+        assert "process" in err  # the new backend is advertised
+
+    def test_process_backend_end_to_end(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "tiny", "--snapshots", "1", "--backend", "process"
+        )
+        assert code == 0
+        summary = json.loads(out)
+        assert summary["config"]["engine"] == "process"
+        assert summary["iterations"][0]["nblocks"] > 0
+
+
+class TestSweep:
+    def test_sweep_to_stdout(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "sweep", "tiny", "--ranks", "4", "16", "--serial"
+        )
+        assert code == 0
+        sweep = json.loads(out)
+        assert sweep["scenario"] == "tiny"
+        assert sweep["mode"] == "weak"
+        assert [p["ncores"] for p in sweep["points"]] == [4, 16]
+        for point in sweep["points"]:
+            assert set(point["modelled_steps"]) == {
+                "scoring", "sorting", "reduction", "redistribution", "rendering",
+            }
+
+    def test_sweep_writes_output_file(self, capsys, tmp_path):
+        output = tmp_path / "sweep" / "tiny.json"
+        code, _, err = run_cli(
+            capsys,
+            "sweep", "tiny", "--ranks", "4", "--serial",
+            "--output", str(output),
+        )
+        assert code == 0
+        assert "wrote" in err
+        assert json.loads(output.read_text())["ranks"] == [4]
+
+    def test_sweep_strong_mode_flag(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "sweep", "tiny", "--ranks", "4", "--mode", "strong", "--serial"
+        )
+        assert code == 0
+        assert json.loads(out)["mode"] == "strong"
+
+    def test_sweep_unknown_scenario_fails(self, capsys):
+        code, _, err = run_cli(capsys, "sweep", "not_a_scenario", "--ranks", "4")
+        assert code != 0
+        assert "tiny" in err  # available scenarios are listed
+
+    def test_sweep_infeasible_ranks_fail_cleanly(self, capsys):
+        code, _, err = run_cli(
+            capsys,
+            "sweep", "tiny", "--ranks", "4", "1024", "--mode", "strong",
+            "--serial",
+        )
+        assert code != 0
+        assert "1024" in err
 
 
 class TestModuleEntryPoint:

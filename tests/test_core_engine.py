@@ -133,7 +133,7 @@ class TestEngineConstruction:
             assert isinstance(step, PipelineStep)
 
     def test_backends_constant(self):
-        assert ENGINE_BACKENDS == ("serial", "vectorized", "parallel")
+        assert ENGINE_BACKENDS == ("serial", "vectorized", "parallel", "process")
 
 
 class TestBackendRegistry:
@@ -149,11 +149,13 @@ class TestBackendRegistry:
             backends_module._BACKEND_ORDER.remove("warp10")
 
     def test_engine_backends_derived_from_registry(self):
-        assert engine_backends() == ("serial", "vectorized", "parallel")
+        assert engine_backends() == ("serial", "vectorized", "parallel", "process")
         register_step_backend(
             "scoring", "warp10", lambda ctx: ScoringStep(ctx.metric, ctx.platform)
         )
-        assert engine_backends() == ("serial", "vectorized", "parallel", "warp10")
+        assert engine_backends() == (
+            "serial", "vectorized", "parallel", "process", "warp10",
+        )
         # The config/engine re-exports see the registration too.
         from repro.core import config as config_module
         from repro.core import engine as engine_module
@@ -162,7 +164,7 @@ class TestBackendRegistry:
         assert engine_module.ENGINE_BACKENDS == engine_backends()
 
     def test_every_builtin_step_registered_per_backend(self):
-        for backend in ("serial", "vectorized", "parallel"):
+        for backend in ("serial", "vectorized", "parallel", "process"):
             assert set(registered_steps(backend)) == set(STEP_NAMES)
 
     def test_resolve_unknown_step_raises(self):

@@ -26,10 +26,13 @@ from repro.cm1 import (
     make_storm,
 )
 from repro.experiments.common import ExperimentScenario, cached_scenario
+from repro.perfmodel.platform import PlatformModel
 from repro.scenarios import (
     ScenarioConfig,
     create_scenario_config,
     get_scenario,
+    model_scaling_point,
+    model_scaling_sweep,
     register_scenario,
     scaling_variants,
     scenario_names,
@@ -37,7 +40,7 @@ from repro.scenarios import (
 )
 from repro.scenarios.registry import _REGISTRY
 
-BACKENDS = ("serial", "vectorized", "parallel")
+BACKENDS = ("serial", "vectorized", "parallel", "process")
 
 #: The four storm families this PR introduces, all required to be registered.
 NEW_FAMILIES = ("squall_line", "multicell_cluster", "turbulence_field", "decaying_storm")
@@ -326,3 +329,74 @@ class TestScalingVariants:
             scaling_variants("tiny", ranks=())
         with pytest.raises(KeyError):
             scaling_variants("unregistered", ranks=(2,))
+
+
+class TestModelScalingSweep:
+    """The cost-model sweep: analytic pricing of iterations without data."""
+
+    def test_point_structure_and_work_counts(self):
+        config = scaling_variants("blue_waters_64", ranks=(64,), mode="weak")[0]
+        point = model_scaling_point(config)
+        bx, by, bz = config.blocks_per_subdomain
+        nx, ny, nz = config.shape
+        assert point["ncores"] == 64
+        assert point["nblocks"] == 64 * bx * by * bz
+        assert point["npoints"] == nx * ny * nz
+        assert point["metric"] == "VAR"
+        steps = point["modelled_steps"]
+        assert set(steps) == {
+            "scoring", "sorting", "reduction", "redistribution", "rendering",
+        }
+        assert all(v >= 0.0 for v in steps.values())
+        assert point["modelled_total"] == pytest.approx(sum(steps.values()))
+
+    def test_point_deterministic_per_seed(self):
+        config = scaling_variants("tiny", ranks=(4,), mode="weak")[0]
+        assert model_scaling_point(config) == model_scaling_point(config)
+
+    def test_percent_extremes(self):
+        config = scaling_variants("tiny", ranks=(4,), mode="weak")[0]
+        none_reduced = model_scaling_point(config, percent=0.0)
+        assert none_reduced["nreduced"] == 0
+        assert none_reduced["modelled_steps"]["reduction"] == pytest.approx(
+            PlatformModel.blue_waters(4).reduction_seconds(0)
+        )
+        all_reduced = model_scaling_point(config, percent=100.0)
+        assert all_reduced["nreduced"] == all_reduced["nblocks"]
+        # No survivors -> nothing to redistribute.
+        assert all_reduced["moved_bytes"] == 0
+        assert all_reduced["modelled_steps"]["redistribution"] == 0.0
+
+    def test_point_validates_arguments(self):
+        config = scaling_variants("tiny", ranks=(4,), mode="weak")[0]
+        with pytest.raises(ValueError, match="percent"):
+            model_scaling_point(config, percent=150.0)
+        with pytest.raises(ValueError, match="active_fraction"):
+            model_scaling_point(config, active_fraction=2.0)
+
+    def test_sweep_orders_points_by_ranks(self):
+        sweep = model_scaling_sweep(
+            "tiny", ranks=(4, 16), mode="weak", parallel=False
+        )
+        assert sweep["scenario"] == "tiny"
+        assert sweep["ranks"] == [4, 16]
+        assert [p["ncores"] for p in sweep["points"]] == [4, 16]
+        # Weak scaling: per-rank points constant, so total points grow 4x.
+        assert sweep["points"][1]["npoints"] == 4 * sweep["points"][0]["npoints"]
+
+    def test_sweep_parallel_matches_serial(self):
+        serial = model_scaling_sweep("tiny", ranks=(4, 16), parallel=False)
+        fanned = model_scaling_sweep("tiny", ranks=(4, 16), parallel=True)
+        assert fanned == serial
+
+    def test_weak_scaling_catalog_entries_registered(self):
+        names = scenario_names()
+        assert "blue_waters_weak_1024" in names
+        assert "blue_waters_weak_10k" in names
+        assert get_scenario("blue_waters_weak_1024").default_ranks == 1024
+        assert get_scenario("blue_waters_weak_10k").default_ranks == 10000
+        # Their full-scale configs exist purely for the model-driven sweep,
+        # but (like every registry entry) they must be priceable directly.
+        config = create_scenario_config("blue_waters_weak_10k")
+        point = model_scaling_point(config)
+        assert point["nblocks"] == 10000 * np.prod(config.blocks_per_subdomain)

@@ -1,0 +1,207 @@
+"""Tests for repro.grid.shm: shared-memory block batches and leak accounting.
+
+The process backend's correctness story rests on two properties tested here:
+
+* pickling a :class:`SharedBlockBatch` ships a ~100-byte handle, never the
+  payload, and the attached view maps the same bytes read-only;
+* every code path that creates a segment — including ones that die inside a
+  worker — disposes of it, observable through :func:`live_owned_segments`.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.scoring_step import ProcessScoringStep
+from repro.experiments.common import ExperimentScenario
+from repro.grid.block import Block, BlockExtent
+from repro.grid.shm import (
+    SharedBatchError,
+    SharedBlockBatch,
+    ShmBatchHandle,
+    live_owned_segments,
+)
+from repro.metrics.base import MetricCost, ScoreMetric
+from repro.scenarios import get_scenario
+
+
+def _payload(seed: int = 0, shape=(3, 4, 5, 6)) -> np.ndarray:
+    return np.random.default_rng(seed).normal(size=shape)
+
+
+def _blocks(n: int = 3, shape=(4, 4, 4)):
+    sx, sy, sz = shape
+    rng = np.random.default_rng(7)
+    return [
+        Block(
+            block_id=i,
+            extent=BlockExtent((i * sx, 0, 0), ((i + 1) * sx, sy, sz)),
+            data=rng.normal(size=shape),
+            owner=i % 2,
+        )
+        for i in range(n)
+    ]
+
+
+class ExplodingMetric(ScoreMetric):
+    """Module-level (picklable) metric that always fails inside the worker."""
+
+    name = "EXPLODE"
+    cost = MetricCost(per_point=1e-9)
+    supports_batch = False
+
+    def score_block(self, data: np.ndarray) -> float:
+        raise RuntimeError("metric exploded in worker")
+
+
+class TestSharedBlockBatchLifecycle:
+    def test_create_roundtrips_payload(self):
+        payload = _payload()
+        shared = SharedBlockBatch.create(payload)
+        try:
+            assert shared.owner
+            assert shared.nbytes == payload.nbytes
+            assert np.array_equal(shared.data, payload)
+            # The owner's view is a *copy* in shared pages, not the input.
+            assert shared.data.ctypes.data != payload.ctypes.data
+        finally:
+            shared.dispose()
+        assert shared.name not in live_owned_segments()
+
+    def test_create_validates_shape(self):
+        with pytest.raises(ValueError, match="4-D"):
+            SharedBlockBatch.create(np.zeros((4, 4, 4)))
+        with pytest.raises(ValueError, match="empty"):
+            SharedBlockBatch.create(np.zeros((0, 4, 4, 4)))
+
+    def test_attach_maps_same_bytes_readonly(self):
+        payload = _payload(1)
+        with SharedBlockBatch.create(payload) as owner:
+            view = SharedBlockBatch.attach(owner.handle())
+            try:
+                assert not view.owner
+                assert np.array_equal(view.data, payload)
+                with pytest.raises(ValueError):
+                    view.data[0, 0, 0, 0] = 42.0  # read-only mapping
+            finally:
+                view.close()
+
+    def test_pickle_ships_handle_not_payload(self):
+        payload = _payload(2, shape=(8, 16, 16, 16))  # 256 KiB
+        with SharedBlockBatch.create(payload) as owner:
+            blob = pickle.dumps(owner)
+            assert len(blob) < 1024  # handle-sized, not payload-sized
+            view = pickle.loads(blob)
+            try:
+                assert not view.owner
+                assert np.array_equal(view.data, payload)
+            finally:
+                view.close()
+
+    def test_handle_fields(self):
+        with SharedBlockBatch.create(_payload()) as owner:
+            handle = owner.handle()
+            assert isinstance(handle, ShmBatchHandle)
+            assert handle.name == owner.name
+            assert handle.shape == (3, 4, 5, 6)
+            assert np.dtype(handle.dtype) == np.float64
+
+    def test_view_cannot_unlink(self):
+        with SharedBlockBatch.create(_payload()) as owner:
+            view = SharedBlockBatch.attach(owner.handle())
+            try:
+                with pytest.raises(SharedBatchError, match="only the creating"):
+                    view.unlink()
+            finally:
+                view.close()
+
+    def test_data_after_close_raises(self):
+        shared = SharedBlockBatch.create(_payload())
+        shared.dispose()
+        with pytest.raises(SharedBatchError, match="closed"):
+            shared.data
+
+    def test_close_and_unlink_idempotent(self):
+        shared = SharedBlockBatch.create(_payload())
+        shared.close()
+        shared.close()
+        shared.unlink()
+        shared.unlink()
+        assert shared.name not in live_owned_segments()
+
+    def test_close_before_unlink_still_destroys_segment(self):
+        shared = SharedBlockBatch.create(_payload())
+        handle = shared.handle()
+        shared.close()  # view unmapped first ...
+        shared.unlink()  # ... the segment must still be destroyed
+        with pytest.raises(SharedBatchError):
+            SharedBlockBatch.attach(handle)
+
+    def test_attach_after_unlink_raises_clear_error(self):
+        shared = SharedBlockBatch.create(_payload())
+        handle = shared.handle()
+        shared.dispose()
+        with pytest.raises(SharedBatchError, match="already unlinked"):
+            SharedBlockBatch.attach(handle)
+
+    def test_context_manager_disposes(self):
+        with SharedBlockBatch.create(_payload()) as shared:
+            name = shared.name
+            assert name in live_owned_segments()
+        assert name not in live_owned_segments()
+
+    def test_from_blocks_carries_metadata(self):
+        blocks = _blocks()
+        with SharedBlockBatch.from_blocks(blocks) as shared:
+            batch = shared.batch
+            assert batch.nblocks == len(blocks)
+            assert list(batch.block_ids) == [b.block_id for b in blocks]
+            stacked = np.stack([b.data for b in blocks])
+            assert np.array_equal(batch.data, stacked)
+            # The batch's payload IS the shared view, not a copy.
+            assert batch.data.ctypes.data == shared.data.ctypes.data
+
+    def test_bare_payload_has_no_batch(self):
+        with SharedBlockBatch.create(_payload()) as shared:
+            with pytest.raises(SharedBatchError, match="no block metadata"):
+                shared.batch
+
+
+class TestLeakAccounting:
+    def test_live_owned_segments_tracks_lifecycle(self):
+        before = live_owned_segments()
+        a = SharedBlockBatch.create(_payload(3))
+        b = SharedBlockBatch.create(_payload(4))
+        live = live_owned_segments()
+        assert a.name in live and b.name in live
+        a.dispose()
+        assert a.name not in live_owned_segments()
+        assert b.name in live_owned_segments()
+        b.dispose()
+        assert live_owned_segments() == before
+
+    def test_worker_exception_leaks_no_segments(self):
+        """A metric that dies inside a worker must not leave segments behind
+        (the step disposes its shared batches in a ``finally`` block)."""
+        scenario = ExperimentScenario(get_scenario("tiny").tiny())
+        step = ProcessScoringStep(ExplodingMetric(), scenario.platform)
+        before = live_owned_segments()
+        with pytest.raises(RuntimeError, match="metric exploded"):
+            step.run(scenario.blocks_for(0))
+        assert live_owned_segments() == before
+
+    def test_process_backend_iteration_leaks_no_segments(self):
+        """A full process-backend pipeline iteration cleans up every segment."""
+        scenario = ExperimentScenario(get_scenario("tiny").tiny())
+        before = live_owned_segments()
+        pipeline = scenario.build_pipeline(
+            metric="VAR", redistribution="round_robin", engine="process"
+        )
+        context = pipeline.engine.run_iteration(
+            scenario.blocks_for(0), percent=50.0, iteration=0
+        )
+        assert context.per_rank_pairs  # the iteration did real work
+        assert live_owned_segments() == before

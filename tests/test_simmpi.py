@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import threading
+import time
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -9,6 +12,7 @@ from hypothesis import given, settings, strategies as st
 from repro.simmpi.communicator import BSPCommunicator, _payload_nbytes
 from repro.simmpi.costmodel import NetworkCostModel
 from repro.simmpi.rankcomm import RankCommunicator
+from repro.simmpi.processcomm import RemoteRankError
 from repro.simmpi.runtime import SimRuntime, SPMDError
 from repro.simmpi.sort import (
     parallel_sort_pairs,
@@ -66,6 +70,96 @@ class TestNetworkCostModel:
         slow = NetworkCostModel.slow_cluster()
         fast = NetworkCostModel.blue_waters()
         assert slow.p2p(1 << 20) > fast.p2p(1 << 20)
+
+
+class TestNetworkCostModelBatch:
+    """The batch/vectorised pricing paths must match their scalar references."""
+
+    def test_p2p_batch_matches_p2p_elementwise(self):
+        model = NetworkCostModel.blue_waters()
+        sizes = np.array([0, 1, 17, 1024, 1 << 20, 1 << 30], dtype=np.int64)
+        batch = model.p2p_batch(sizes)
+        assert batch.shape == sizes.shape
+        for size, cost in zip(sizes, batch):
+            assert cost == model.p2p(int(size))
+
+    def test_p2p_batch_accepts_lists_and_empty(self):
+        model = NetworkCostModel()
+        assert model.p2p_batch([100])[0] == model.p2p(100)
+        assert model.p2p_batch(np.array([], dtype=np.int64)).size == 0
+
+    def test_p2p_batch_negative_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkCostModel().p2p_batch(np.array([10, -1, 5]))
+
+    def test_barrier_single_rank(self):
+        model = NetworkCostModel(latency=1e-6, per_rank_overhead=1e-5)
+        # _log2p clamps to one dissemination round even for P=1.
+        assert model.barrier(1) == pytest.approx(1e-6 + 1e-5)
+
+    def test_barrier_huge_rank_count(self):
+        model = NetworkCostModel(latency=1e-6, per_rank_overhead=0.0)
+        # ceil(log2(2^20)) = 20 rounds, nothing else.
+        assert model.barrier(1 << 20) == pytest.approx(20 * 1e-6)
+
+    def test_barrier_monotone_in_ranks(self):
+        model = NetworkCostModel()
+        costs = [model.barrier(p) for p in (1, 2, 64, 4096, 1 << 20)]
+        assert costs == sorted(costs)
+
+    def test_scatter_edges_mirror_gather(self):
+        model = NetworkCostModel()
+        assert model.scatter(1 << 20, 1) == 0.0
+        for nranks in (2, 64, 1 << 16):
+            assert model.scatter(1 << 10, nranks) == model.gather(1 << 10, nranks)
+
+    def test_alltoallv_shape_validated(self):
+        with pytest.raises(ValueError):
+            NetworkCostModel().alltoallv(np.zeros((3, 4)), 4)
+
+    def test_alltoallv_matches_loop_on_random_matrices(self):
+        """Vectorised pricing returns the *identical* float as the loop."""
+        model = NetworkCostModel.blue_waters()
+        rng = np.random.default_rng(42)
+        for nranks in (1, 2, 3, 8, 17):
+            matrix = rng.integers(0, 1 << 16, size=(nranks, nranks))
+            assert model.alltoallv(matrix, nranks) == model.alltoallv_loop(
+                matrix, nranks
+            )
+
+    def test_alltoallv_matches_loop_on_float_and_negative_entries(self):
+        """Floats truncate like int() and non-positive entries carry nothing."""
+        model = NetworkCostModel.slow_cluster()
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            nranks = int(rng.integers(2, 9))
+            matrix = rng.uniform(-1000.0, 1e6, size=(nranks, nranks))
+            assert model.alltoallv(matrix, nranks) == model.alltoallv_loop(
+                matrix, nranks
+            )
+
+    def test_alltoallv_accepts_nested_lists(self):
+        model = NetworkCostModel()
+        matrix = [[0, 10, 0], [5, 0, 0], [0, 0, 0]]
+        assert model.alltoallv(matrix, 3) == model.alltoallv_loop(matrix, 3)
+
+    def test_alltoallv_does_not_mutate_input(self):
+        model = NetworkCostModel()
+        matrix = np.full((4, 4), 100, dtype=np.int64)
+        before = matrix.copy()
+        model.alltoallv(matrix, 4)
+        assert np.array_equal(matrix, before)
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        nranks=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_alltoallv_parity_property(self, nranks, seed):
+        model = NetworkCostModel.blue_waters()
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(-100, 1 << 12, size=(nranks, nranks))
+        assert model.alltoallv(matrix, nranks) == model.alltoallv_loop(matrix, nranks)
 
 
 class TestVirtualClocks:
@@ -308,6 +402,44 @@ class TestSimRuntimeSPMD:
         with pytest.raises(ValueError):
             SimRuntime(2, join_grace=-1.0)
 
+    def test_raiser_and_hung_rank_reported_together(self):
+        """A hung rank must not mask a recorded exception (regression: the
+        synthetic TimeoutError used to be built from the hung set alone,
+        dropping the raiser that caused the hang in the first place)."""
+        hang = threading.Event()  # released at the end of the test
+
+        def program(comm):
+            rank = comm.Get_rank()
+            if rank == 1:
+                raise ValueError("root cause")
+            if rank == 2:
+                hang.wait()
+            return rank
+
+        runtime = SimRuntime(3, timeout=0.3, join_grace=0.2)
+        try:
+            with pytest.raises(SPMDError) as excinfo:
+                runtime.run(program)
+        finally:
+            hang.set()
+        failures = {f.rank: f.exception for f in excinfo.value.failures}
+        assert set(failures) == {1, 2}
+        assert isinstance(failures[1], ValueError)  # the root cause survives
+        assert isinstance(failures[2], TimeoutError)
+        # Failures arrive sorted by rank for a stable error message.
+        assert [f.rank for f in excinfo.value.failures] == [1, 2]
+
+    def test_raiser_not_duplicated_by_hang_accounting(self):
+        """A rank that raised *and* whose thread is gone is reported once."""
+
+        def program(comm):
+            raise RuntimeError(f"rank {comm.Get_rank()} failed")
+
+        with pytest.raises(SPMDError) as excinfo:
+            SimRuntime(3, timeout=2.0).run(program)
+        assert [f.rank for f in excinfo.value.failures] == [0, 1, 2]
+        assert all(isinstance(f.exception, RuntimeError) for f in excinfo.value.failures)
+
 
 class TestParallelSort:
     def test_gather_sort_broadcast_matches_sequential(self):
@@ -445,3 +577,108 @@ class TestParallelSortNumpy:
         per_rank = [pairs[r::nranks] for r in range(nranks)]
         out = parallel_sort_pairs_numpy(comm, per_rank)
         assert out[0] == sorted(pairs, key=lambda p: (p[1], p[0]))
+
+
+# SPMD programs for the process runtime live at module level so they resolve
+# by qualified name in the rank processes regardless of start method.
+
+
+def _prog_allreduce(comm):
+    return comm.allreduce(comm.Get_rank() + 1)
+
+
+def _prog_ring(comm):
+    rank, size = comm.Get_rank(), comm.Get_size()
+    comm.send(rank, dest=(rank + 1) % size, tag=5)
+    return comm.recv(source=(rank - 1) % size, tag=5)
+
+
+def _prog_collectives(comm):
+    rank, size = comm.Get_rank(), comm.Get_size()
+    value = comm.bcast("payload" if rank == 0 else None, root=0)
+    part = comm.scatter([i * i for i in range(size)] if rank == 0 else None)
+    gathered = comm.gather(part, root=0)
+    everyone = comm.alltoall([f"{rank}->{j}" for j in range(size)])
+    prefix = comm.scan(rank + 1)
+    comm.barrier()
+    return (value, part, gathered, everyone, prefix)
+
+
+def _prog_sendrecv_swap(comm):
+    rank = comm.Get_rank()
+    partner = 1 - rank
+    return comm.sendrecv(f"from {rank}", dest=partner, source=partner)
+
+
+def _prog_raise_on_rank_one(comm):
+    if comm.Get_rank() == 1:
+        raise ValueError("rank one exploded")
+    return comm.Get_rank()
+
+
+def _prog_raise_or_hang(comm):
+    rank = comm.Get_rank()
+    if rank == 1:
+        raise ValueError("root cause")
+    if rank == 2:
+        time.sleep(30.0)  # hung until the runtime terminates the process
+    return rank
+
+
+def _prog_unpicklable_return(comm):
+    return threading.Lock()  # cannot cross the process boundary
+
+
+class TestSimRuntimeProcess:
+    """``mode="process"`` must behave like the thread runtime, observably."""
+
+    def test_mode_validated(self):
+        with pytest.raises(ValueError, match="mode must be one of"):
+            SimRuntime(2, mode="fibers")
+
+    def test_allreduce_matches_thread_mode(self):
+        expected = SimRuntime(4, mode="thread").run(_prog_allreduce)
+        assert SimRuntime(4, mode="process").run(_prog_allreduce) == expected
+
+    def test_point_to_point_ring(self):
+        results = SimRuntime(4, mode="process").run(_prog_ring)
+        assert results == [3, 0, 1, 2]
+
+    def test_sendrecv(self):
+        results = SimRuntime(2, mode="process").run(_prog_sendrecv_swap)
+        assert results == ["from 1", "from 0"]
+
+    def test_collectives_match_thread_mode(self):
+        expected = SimRuntime(3, mode="thread").run(_prog_collectives)
+        assert SimRuntime(3, mode="process").run(_prog_collectives) == expected
+
+    def test_single_rank(self):
+        assert SimRuntime(1, mode="process").run(_prog_allreduce) == [1]
+
+    def test_exception_propagates_with_original_type(self):
+        with pytest.raises(SPMDError) as excinfo:
+            SimRuntime(3, timeout=2.0, join_grace=1.0, mode="process").run(
+                _prog_raise_on_rank_one
+            )
+        failures = {f.rank: f.exception for f in excinfo.value.failures}
+        assert set(failures) == {1}
+        assert isinstance(failures[1], ValueError)
+        assert "rank one exploded" in str(failures[1])
+
+    def test_raiser_and_hung_rank_reported_together(self):
+        """Same merge contract as thread mode: the recorded exception and
+        the hung rank's synthetic TimeoutError arrive in one SPMDError."""
+        runtime = SimRuntime(3, timeout=0.5, join_grace=0.5, mode="process")
+        with pytest.raises(SPMDError) as excinfo:
+            runtime.run(_prog_raise_or_hang)
+        failures = {f.rank: f.exception for f in excinfo.value.failures}
+        assert set(failures) == {1, 2}
+        assert isinstance(failures[1], ValueError)
+        assert isinstance(failures[2], TimeoutError)
+
+    def test_unpicklable_return_reported_as_remote_error(self):
+        with pytest.raises(SPMDError) as excinfo:
+            SimRuntime(1, timeout=2.0, mode="process").run(_prog_unpicklable_return)
+        (failure,) = excinfo.value.failures
+        assert isinstance(failure.exception, RemoteRankError)
+        assert "unpicklable" in str(failure.exception)
