@@ -23,6 +23,14 @@ Three subcommands expose the scenario registry without writing any Python:
     Price a weak/strong-scaling rank sweep of a registered scenario through
     the cost models alone (no data generated), which is what makes rank
     counts like 10,000 tractable — see :mod:`repro.scenarios.sweep`.
+    Human-readable table by default; ``--json`` / ``--output`` produce the
+    machine-readable record, mirroring ``run``'s contract.
+
+``serve``
+    Run the scenario pipeline as a local asyncio HTTP service: concurrent
+    ``POST /run`` requests multiplex over a shared worker pool, stream
+    NDJSON per-iteration results, and share a disk-backed replay cache —
+    see :mod:`repro.serve`.
 
 Exit codes: 0 on success, 2 on usage errors (including an unknown scenario
 name — the error message lists the registered names).
@@ -142,10 +150,40 @@ def _build_parser() -> argparse.ArgumentParser:
         help="price points in-process instead of over the process pool",
     )
     sweep_p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable sweep record to stdout",
+    )
+    sweep_p.add_argument(
         "--output",
         type=Path,
         default=None,
-        help="write the JSON sweep record to this file (default: stdout)",
+        help="write the JSON sweep record to this file",
+    )
+
+    serve_p = sub.add_parser(
+        "serve", help="run the pipeline as a local HTTP service"
+    )
+    serve_p.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_p.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="port to listen on (default: 8642; 0 picks a free port)",
+    )
+    serve_p.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="replay-cache directory (default: a per-process temp dir)",
+    )
+    serve_p.add_argument(
+        "--workers",
+        type=int,
+        default=8,
+        help="concurrent scenario runs in the shared pool (default: 8)",
     )
     return parser
 
@@ -333,13 +371,53 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    text = json.dumps(record, indent=2, default=_json_default)
     if args.output is not None:
+        text = json.dumps(record, indent=2, default=_json_default)
         args.output.parent.mkdir(parents=True, exist_ok=True)
         args.output.write_text(text + "\n")
         print(f"wrote {args.output}", file=sys.stderr)
-    else:
-        print(text)
+        if not args.json:
+            return 0
+    if args.json:
+        print(json.dumps(record, indent=2, default=_json_default))
+        return 0
+    # Human-readable default: one line per priced rank count.
+    print(
+        f"{record['scenario']} {record['mode']}-scaling sweep "
+        f"(metric {record['metric']}, {record['percent']:.0f}% reduced)"
+    )
+    print(f"{'ranks':>8}  {'modelled total':>14}  dominant step")
+    for point in record["points"]:
+        steps = {k: float(v) for k, v in point.get("modelled_steps", {}).items()}
+        dominant = max(steps, key=steps.get) if steps else "-"
+        print(
+            f"{int(point['ncores']):>8}  {float(point['modelled_total']):>13.3f}s"
+            f"  {dominant}"
+        )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import tempfile
+
+    from repro.serve.server import serve_forever
+
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    cache_dir = args.cache_dir
+    if cache_dir is None:
+        cache_dir = Path(tempfile.mkdtemp(prefix="repro-serve-cache-"))
+        print(f"replay cache at {cache_dir}", file=sys.stderr)
+    try:
+        asyncio.run(
+            serve_forever(
+                args.host, args.port, cache_dir, max_workers=args.workers
+            )
+        )
+    except KeyboardInterrupt:
+        print("serve: interrupted, shutting down", file=sys.stderr)
     return 0
 
 
@@ -351,6 +429,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_list(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         return _cmd_run(args)
     except BrokenPipeError:
         # Downstream closed our stdout early (e.g. ``python -m repro list |

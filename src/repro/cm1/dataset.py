@@ -89,11 +89,18 @@ class CM1Dataset:
 
     # -- persistence ---------------------------------------------------------
 
-    def save(self, directory: Path, extra_metadata: Optional[dict] = None) -> DatasetStore:
+    def save(
+        self,
+        directory: Path,
+        extra_metadata: Optional[dict] = None,
+        layout: str = "npz",
+    ) -> DatasetStore:
         """Persist every snapshot into a :class:`DatasetStore` at ``directory``.
 
         ``extra_metadata`` entries are merged into the manifest metadata —
-        the CLI records the scenario name this way.
+        the CLI records the scenario name this way.  ``layout="raw"`` writes
+        the mmap-friendly flat-binary format (the replay cache uses it so
+        repeated runs load snapshots zero-copy instead of re-simulating).
         """
         metadata = {
             "generator": "repro.cm1.CM1Dataset",
@@ -103,28 +110,47 @@ class CM1Dataset:
         }
         metadata.update(extra_metadata or {})
         store = DatasetStore(Path(directory))
-        store.create(self.simulation.grid, metadata=metadata)
+        store.create(self.simulation.grid, metadata=metadata, layout=layout)
         for domain in self:
             store.append(domain)
         return store
 
     @staticmethod
-    def load(directory: Path, field_name: str = "dbz") -> "StoredCM1Dataset":
+    def load(
+        directory: Path, field_name: str = "dbz", mmap: bool = False
+    ) -> "StoredCM1Dataset":
         """Open a previously saved dataset for replay."""
-        return StoredCM1Dataset(DatasetStore(Path(directory)), field_name=field_name)
+        return StoredCM1Dataset(
+            DatasetStore(Path(directory)), field_name=field_name, mmap=mmap
+        )
 
 
 class StoredCM1Dataset:
-    """Read-only view over a persisted CM1 dataset."""
+    """Read-only view over a persisted CM1 dataset.
 
-    def __init__(self, store: DatasetStore, field_name: str = "dbz") -> None:
+    Mirrors the :class:`CM1Dataset` access surface (``snapshot``,
+    ``select``, ``per_rank_blocks``) so experiment scenarios can be backed
+    by a stored dataset instead of a live simulation.  With ``mmap=True``
+    (raw-layout stores) snapshot fields are read-only memory-mapped views —
+    block extraction copies only the slices each rank needs.
+    """
+
+    def __init__(
+        self, store: DatasetStore, field_name: str = "dbz", mmap: bool = False
+    ) -> None:
         if not store.exists():
             raise FileNotFoundError(f"no dataset at {store.root}")
         self.store = store
         self.field_name = field_name
+        self.mmap = bool(mmap)
         self._iterations = store.iterations()
 
     def __len__(self) -> int:
+        return len(self._iterations)
+
+    @property
+    def nsnapshots(self) -> int:
+        """Number of stored snapshots (CM1Dataset-compatible alias)."""
         return len(self._iterations)
 
     def snapshot(self, index: int) -> Domain:
@@ -132,9 +158,31 @@ class StoredCM1Dataset:
         if not (0 <= index < len(self._iterations)):
             raise IndexError(f"snapshot index {index} out of range")
         return self.store.load_iteration(
-            self._iterations[index], fields=[self.field_name]
+            self._iterations[index], fields=[self.field_name], mmap=self.mmap
         )
 
     def __iter__(self) -> Iterator[Domain]:
         for i in range(len(self)):
             yield self.snapshot(i)
+
+    def select(self, count: int) -> List[int]:
+        """Equally spaced snapshot indices (CM1Dataset-compatible)."""
+        return equally_spaced(list(range(len(self._iterations))), count)
+
+    def per_rank_blocks(
+        self,
+        decomposition: CartesianDecomposition,
+        index: int,
+        field_name: str = "dbz",
+    ) -> List[List[Block]]:
+        """Blocks of snapshot ``index`` split across the decomposition's ranks."""
+        if not (0 <= index < len(self._iterations)):
+            raise IndexError(f"snapshot index {index} out of range")
+        domain = self.store.load_iteration(
+            self._iterations[index], fields=[field_name], mmap=self.mmap
+        )
+        field = domain.get_field(field_name)
+        return [
+            decomposition.extract_blocks(rank, field, field_name)
+            for rank in range(decomposition.nranks)
+        ]

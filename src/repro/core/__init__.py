@@ -39,7 +39,14 @@ from repro.core.backends import (
     registered_steps,
     resolve_step_factory,
 )
-from repro.core.step import IterationContext, PipelineStep, StepReport
+from repro.core.step import (
+    STAGE_GRAPH,
+    IterationContext,
+    PipelineStep,
+    StageSpec,
+    StepReport,
+    stage_spec,
+)
 from repro.core.scoring_step import (
     ParallelScoringStep,
     ProcessScoringStep,
@@ -67,7 +74,7 @@ from repro.core.rendering_step import (
     RenderingStep,
     VectorizedRenderingStep,
 )
-from repro.core.engine import ExecutionEngine
+from repro.core.engine import ExecutionEngine, PipelinedEngine
 from repro.core.monitor import PerformanceMonitor
 from repro.core.results import IterationResult, PipelineRunResult
 from repro.core.pipeline import InSituPipeline
@@ -90,6 +97,9 @@ __all__ = [
     "IterationContext",
     "PipelineStep",
     "StepReport",
+    "StageSpec",
+    "STAGE_GRAPH",
+    "stage_spec",
     "ScoringStep",
     "VectorizedScoringStep",
     "ParallelScoringStep",
@@ -119,6 +129,7 @@ __all__ = [
     "ProcessRenderingStep",
     "ENGINE_BACKENDS",
     "ExecutionEngine",
+    "PipelinedEngine",
     "PerformanceMonitor",
     "IterationResult",
     "PipelineRunResult",

@@ -84,6 +84,16 @@ class PipelineConfig:
         When True (default) the controller reacts to modelled platform
         seconds; when False it reacts to measured wall-clock (useful for
         pure-software runs without the platform model).
+    pipelined:
+        When True the pipeline runs on the
+        :class:`~repro.core.engine.PipelinedEngine`, which overlaps
+        consecutive iterations (snapshot ``t + 1`` is scored, sorted and
+        redistributed while ``t`` renders) whenever the percentage schedule
+        is known up front — a fixed ``percent_override`` or adaptation
+        disabled.  Runs that need the Algorithm 1 feedback loop fall back to
+        strictly sequential iterations (the controller consumes iteration
+        ``t``'s result before picking ``t + 1``'s percentage), so results
+        are identical either way.
     engine:
         Execution backend of the step sequence, resolved through the backend
         registry (:mod:`repro.core.backends`), which third-party backends can
@@ -116,6 +126,7 @@ class PipelineConfig:
     adaptation: AdaptationConfig = field(default_factory=AdaptationConfig)
     shuffle_seed: int = 2016
     use_modelled_time: bool = True
+    pipelined: bool = False
     engine: str = "vectorized"
 
     def __post_init__(self) -> None:

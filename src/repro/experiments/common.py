@@ -95,15 +95,27 @@ def render_baseline_seconds(ncores: int) -> float:
 
 
 class ExperimentScenario:
-    """Dataset + decomposition + calibrated platform for one configuration."""
+    """Dataset + decomposition + calibrated platform for one configuration.
 
-    def __init__(self, config: ScenarioConfig) -> None:
+    ``dataset`` (optional) replaces the live CM1 simulation with any object
+    exposing the :class:`~repro.cm1.dataset.CM1Dataset` access surface
+    (``select``, ``per_rank_blocks``) — typically a
+    :class:`~repro.cm1.dataset.StoredCM1Dataset` opened with ``mmap=True``,
+    which is how the serve mode's replay cache avoids re-simulating CM1.
+    """
+
+    def __init__(self, config: ScenarioConfig, dataset=None) -> None:
         self.config = config
-        if config.storm is not None:
-            cm1 = CM1Config(shape=config.shape, seed=config.seed, storm=config.storm)
+        if dataset is not None:
+            self.dataset = dataset
         else:
-            cm1 = CM1Config(shape=config.shape, seed=config.seed)
-        self.dataset = CM1Dataset(cm1, nsnapshots=config.nsnapshots, cache=True)
+            if config.storm is not None:
+                cm1 = CM1Config(
+                    shape=config.shape, seed=config.seed, storm=config.storm
+                )
+            else:
+                cm1 = CM1Config(shape=config.shape, seed=config.seed)
+            self.dataset = CM1Dataset(cm1, nsnapshots=config.nsnapshots, cache=True)
         # CM1 decomposes horizontally; keep the vertical column on one rank.
         px, py = factorize_ranks(config.ncores, ndims=2)
         self.decomposition = CartesianDecomposition(
@@ -249,12 +261,15 @@ class ExperimentScenario:
         adaptation: Optional[AdaptationConfig] = None,
         render_mode: str = "count",
         engine: Optional[str] = None,
+        pipelined: bool = False,
     ) -> InSituPipeline:
         """Build a pipeline wired to this scenario's platform and rank count.
 
         ``engine`` selects the execution backend ("serial", "vectorized",
         or "parallel");
         the default follows :class:`PipelineConfig` (vectorized).
+        ``pipelined=True`` runs feedback-free multi-iteration calls on the
+        overlapping :class:`~repro.core.engine.PipelinedEngine`.
         """
         config = PipelineConfig(
             metric=metric,
@@ -266,6 +281,7 @@ class ExperimentScenario:
             if adaptation is not None
             else AdaptationConfig(enabled=False, target_seconds=1.0),
             shuffle_seed=self.config.seed,
+            pipelined=pipelined,
             **({} if engine is None else {"engine": engine}),
         )
         return InSituPipeline(config, self.platform, nranks=self.nranks)

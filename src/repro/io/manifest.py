@@ -10,6 +10,12 @@ from typing import Dict, List, Optional, Tuple
 MANIFEST_FILENAME = "manifest.json"
 FORMAT_VERSION = 1
 
+#: Supported on-disk layouts: ``"npz"`` (one compressed archive per
+#: iteration, the historical default) and ``"raw"`` (one flat binary file
+#: per iteration with manifest-recorded per-field byte offsets, loadable
+#: zero-copy through ``np.memmap``).
+LAYOUTS = ("npz", "raw")
+
 
 @dataclass
 class IterationRecord:
@@ -20,6 +26,11 @@ class IterationRecord:
     dtype exactly.  Records written before dtypes were tracked leave the
     mapping empty; such fields load with whatever dtype the ``.npz`` holds
     (historically float32).
+
+    ``offsets`` maps field names to byte offsets inside ``filename`` — only
+    populated by the ``"raw"`` layout, where each field is one contiguous
+    C-order array slab (aligned for mmap-friendly access) and the manifest
+    is the sole source of truth for where it starts.
     """
 
     iteration: int
@@ -27,6 +38,7 @@ class IterationRecord:
     fields: List[str]
     nbytes: int = 0
     dtypes: Dict[str, str] = field(default_factory=dict)
+    offsets: Dict[str, int] = field(default_factory=dict)
 
     def validate(self) -> None:
         """Basic consistency checks; raises ``ValueError`` on problems."""
@@ -41,6 +53,13 @@ class IterationRecord:
             raise ValueError(
                 f"dtypes recorded for unknown fields {sorted(unknown)}"
             )
+        unknown_offsets = set(self.offsets) - set(self.fields)
+        if unknown_offsets:
+            raise ValueError(
+                f"offsets recorded for unknown fields {sorted(unknown_offsets)}"
+            )
+        if any(offset < 0 for offset in self.offsets.values()):
+            raise ValueError("field offsets must be >= 0")
 
 
 @dataclass
@@ -57,13 +76,24 @@ class DatasetManifest:
         Records of the stored iterations, in storage order.
     metadata:
         Free-form provenance (config used to generate the data, seed, ...).
+    layout:
+        On-disk layout of the iteration files (one of :data:`LAYOUTS`).
+        Manifests written before layouts existed carry no key and default to
+        ``"npz"``, so old stores keep loading unchanged.
     """
 
     shape: Tuple[int, int, int]
     grid_axes_file: str = "grid_axes.npz"
     iterations: List[IterationRecord] = field(default_factory=list)
     metadata: Dict[str, object] = field(default_factory=dict)
+    layout: str = "npz"
     version: int = FORMAT_VERSION
+
+    def __post_init__(self) -> None:
+        if self.layout not in LAYOUTS:
+            raise ValueError(
+                f"layout must be one of {LAYOUTS}, got {self.layout!r}"
+            )
 
     def add_iteration(self, record: IterationRecord) -> None:
         """Append a record, enforcing strictly increasing iteration numbers."""
@@ -110,6 +140,7 @@ class DatasetManifest:
             grid_axes_file=payload.get("grid_axes_file", "grid_axes.npz"),
             iterations=iterations,
             metadata=payload.get("metadata", {}),
+            layout=payload.get("layout", "npz"),
             version=version,
         )
 

@@ -38,11 +38,20 @@ def equally_spaced(available: Sequence[int], count: int) -> List[int]:
 
 
 class DatasetReplayer:
-    """Feeds stored iterations to the in situ visualization kernel."""
+    """Feeds stored iterations to the in situ visualization kernel.
 
-    def __init__(self, store: DatasetStore, field_name: str = "dbz") -> None:
+    ``mmap=True`` (raw-layout stores only) replays fields as read-only
+    memory-mapped views instead of materialised arrays — block extraction
+    copies just the subdomain slices it needs, so a replay touches only the
+    pages the decomposition actually reads.
+    """
+
+    def __init__(
+        self, store: DatasetStore, field_name: str = "dbz", mmap: bool = False
+    ) -> None:
         self.store = store
         self.field_name = field_name
+        self.mmap = bool(mmap)
 
     def select_iterations(self, count: int) -> List[int]:
         """Equally spaced selection of ``count`` stored iterations."""
@@ -51,7 +60,9 @@ class DatasetReplayer:
     def domains(self, count: int) -> Iterator[Domain]:
         """Yield ``count`` equally spaced stored iterations as domains."""
         for iteration in self.select_iterations(count):
-            yield self.store.load_iteration(iteration, fields=[self.field_name])
+            yield self.store.load_iteration(
+                iteration, fields=[self.field_name], mmap=self.mmap
+            )
 
     def per_rank_blocks(
         self,

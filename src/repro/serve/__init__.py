@@ -1,0 +1,24 @@
+"""Service mode: the pipeline as a long-running local endpoint.
+
+``python -m repro serve`` turns the one-shot CLI into a small asyncio HTTP
+service.  Clients POST scenario-run requests to ``/run``; the server
+multiplexes runs over a shared worker pool, streams one JSON line per
+completed iteration (NDJSON), and caches each resolved scenario's snapshots
+on disk as a raw-layout :class:`~repro.io.store.DatasetStore` keyed by the
+full :class:`~repro.scenarios.ScenarioConfig` — so a repeated request
+memory-maps the stored snapshots instead of re-simulating CM1.
+
+:mod:`repro.serve.cache` holds the replay cache, :mod:`repro.serve.server`
+the protocol and request handling.
+"""
+
+from repro.serve.cache import ReplayCache, scenario_cache_key
+from repro.serve.server import RunRequest, ServeApp, serve_forever
+
+__all__ = [
+    "ReplayCache",
+    "RunRequest",
+    "ServeApp",
+    "scenario_cache_key",
+    "serve_forever",
+]

@@ -1,0 +1,115 @@
+"""Replay cache: resolved scenario configs to mmap-backed dataset stores.
+
+The PR 5 cache-key fix made a fully resolved
+:class:`~repro.scenarios.ScenarioConfig` the sound identity of a workload —
+two configs that hash equal describe the same data.  This module turns that
+identity into an *on-disk* cache: the first run of a config simulates CM1
+and persists every snapshot as a raw-layout
+:class:`~repro.io.store.DatasetStore`; every later run (within or across
+server processes) replays the stored snapshots through read-only
+``np.memmap`` views and never touches the simulation again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from pathlib import Path
+from typing import Dict, Tuple
+
+from repro.cm1.dataset import CM1Dataset
+from repro.experiments.common import ExperimentScenario
+from repro.io.store import DatasetStore
+from repro.scenarios import ScenarioConfig
+
+__all__ = ["ReplayCache", "scenario_cache_key"]
+
+
+def scenario_cache_key(config: ScenarioConfig) -> str:
+    """Stable cache key of a fully resolved scenario config.
+
+    ``ScenarioConfig`` (and any storm override it carries) is a frozen
+    dataclass, so its ``repr`` is a complete, deterministic rendering of
+    every field — hashing it gives a filesystem-safe key with the same
+    equality semantics as the config itself.
+    """
+    digest = hashlib.sha256(repr(config).encode("utf-8")).hexdigest()[:20]
+    prefix = config.name or "adhoc"
+    return f"{prefix}-{digest}"
+
+
+class ReplayCache:
+    """Disk-backed scenario cache keyed by resolved config identity.
+
+    Parameters
+    ----------
+    root:
+        Directory the per-config dataset stores live under (one
+        subdirectory per cache key).
+
+    Thread safety: ``scenario_for`` may be called concurrently from worker
+    threads; a per-key lock ensures that two simultaneous requests for the
+    same config simulate at most once (the second waits, then replays).
+    ``hits`` / ``misses`` count resolved requests and are surfaced in the
+    serve responses.
+    """
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self._guard = threading.Lock()
+        self._key_locks: Dict[str, threading.Lock] = {}
+
+    def _lock_for(self, key: str) -> threading.Lock:
+        with self._guard:
+            lock = self._key_locks.get(key)
+            if lock is None:
+                lock = self._key_locks[key] = threading.Lock()
+            return lock
+
+    def store_path(self, config: ScenarioConfig) -> Path:
+        """Directory the dataset store for ``config`` lives in (or will)."""
+        return self.root / scenario_cache_key(config)
+
+    def peek(self, config: ScenarioConfig) -> bool:
+        """True if a replay for ``config`` is already cached on disk."""
+        return DatasetStore(self.store_path(config)).exists()
+
+    def scenario_for(self, config: ScenarioConfig) -> "Tuple[ExperimentScenario, bool]":
+        """Resolve a config to ``(scenario, was_hit)``, cached.
+
+        On a cache hit the scenario is backed by a
+        :class:`~repro.cm1.dataset.StoredCM1Dataset` opened with
+        ``mmap=True`` — snapshot fields come straight off the raw-layout
+        store, zero-copy, and the CM1 simulation is never constructed.  On
+        a miss the scenario simulates live (and keeps its in-memory snapshot
+        cache for the current run), then persists every snapshot so the next
+        identical request hits.  The verdict is decided under the per-key
+        lock, so of N simultaneous identical requests exactly one reports a
+        miss — the one that simulated.
+        """
+        key = scenario_cache_key(config)
+        with self._lock_for(key):
+            store_dir = self.root / key
+            if DatasetStore(store_dir).exists():
+                with self._guard:
+                    self.hits += 1
+                dataset = CM1Dataset.load(
+                    store_dir, field_name=config.field_name, mmap=True
+                )
+                return ExperimentScenario(config, dataset=dataset), True
+            with self._guard:
+                self.misses += 1
+            scenario = ExperimentScenario(config)
+            scenario.dataset.save(
+                store_dir,
+                extra_metadata={"scenario": config.name or "adhoc", "cache_key": key},
+                layout="raw",
+            )
+            return scenario, False
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters (snapshot, not a live view)."""
+        with self._guard:
+            return {"hits": self.hits, "misses": self.misses}

@@ -1,0 +1,392 @@
+"""The asyncio scenario-run service behind ``python -m repro serve``.
+
+A deliberately small stdlib-only HTTP/1.1 server (``asyncio.start_server``
+plus hand-rolled request parsing — no web framework in the image), because
+the protocol is tiny:
+
+``GET /health``
+    ``{"status": "ok", "cache": {...}}`` — liveness plus cache counters.
+
+``GET /scenarios``
+    The registered workload names.
+
+``POST /run``
+    JSON body selecting a registered scenario and optional overrides
+    (``ranks``, ``snapshots``, ``seed``, ``metric``, ``redistribution``,
+    ``percent``, ``target``, ``render_mode``, ``backend``, ``pipelined``).
+    The response streams NDJSON: one ``start`` event (with the cache
+    verdict), one ``iteration`` event per completed pipeline iteration *as
+    it completes*, and a final ``summary`` event matching ``python -m repro
+    run``'s machine-readable contract.
+
+Runs execute on a shared :class:`~concurrent.futures.ThreadPoolExecutor`,
+so many concurrent requests multiplex over a bounded worker pool while the
+event loop keeps streaming.  Scenario data resolves through the
+:class:`~repro.serve.cache.ReplayCache`: the first request for a config
+simulates CM1 and persists the snapshots, every identical request after it
+replays them via read-only memory maps.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.backends import engine_backends
+from repro.core.config import AdaptationConfig
+from repro.core.results import IterationResult
+from repro.metrics.registry import default_registry
+from repro.scenarios import get_scenario, scenario_names
+from repro.serve.cache import ReplayCache, scenario_cache_key
+
+__all__ = ["RunRequest", "ServeApp", "serve_forever"]
+
+_SENTINEL = object()
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One validated ``POST /run`` payload."""
+
+    scenario: str
+    ranks: Optional[int] = None
+    snapshots: Optional[int] = None
+    seed: Optional[int] = None
+    metric: str = "VAR"
+    redistribution: str = "none"
+    percent: Optional[float] = None
+    target: Optional[float] = None
+    render_mode: str = "count"
+    backend: Optional[str] = None
+    pipelined: bool = True
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "RunRequest":
+        """Build a request from a decoded JSON body; raises ``ValueError``."""
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        scenario = payload.get("scenario")
+        if not isinstance(scenario, str) or not scenario.strip():
+            raise ValueError("'scenario' (a registered name) is required")
+        known = {
+            "scenario", "ranks", "snapshots", "seed", "metric",
+            "redistribution", "percent", "target", "render_mode", "backend",
+            "pipelined",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown request fields: {sorted(unknown)}")
+        request = cls(
+            scenario=scenario.strip(),
+            ranks=None if payload.get("ranks") is None else int(payload["ranks"]),
+            snapshots=(
+                None if payload.get("snapshots") is None else int(payload["snapshots"])
+            ),
+            seed=None if payload.get("seed") is None else int(payload["seed"]),
+            metric=str(payload.get("metric", "VAR")),
+            redistribution=str(payload.get("redistribution", "none")),
+            percent=(
+                None if payload.get("percent") is None else float(payload["percent"])
+            ),
+            target=None if payload.get("target") is None else float(payload["target"]),
+            render_mode=str(payload.get("render_mode", "count")),
+            backend=(
+                None
+                if payload.get("backend") is None
+                else str(payload["backend"]).strip().lower()
+            ),
+            pipelined=bool(payload.get("pipelined", True)),
+        )
+        if request.metric.strip().upper() not in default_registry():
+            raise ValueError(
+                f"unknown metric {request.metric!r}; available: "
+                f"{', '.join(default_registry().names())}"
+            )
+        if request.redistribution not in ("none", "shuffle", "round_robin"):
+            raise ValueError(
+                f"redistribution must be 'none', 'shuffle' or 'round_robin', "
+                f"got {request.redistribution!r}"
+            )
+        if request.render_mode not in ("count", "mesh"):
+            raise ValueError(
+                f"render_mode must be 'count' or 'mesh', got {request.render_mode!r}"
+            )
+        if request.backend is not None and request.backend not in engine_backends():
+            raise ValueError(
+                f"unknown backend {request.backend!r}; available: "
+                f"{', '.join(engine_backends())}"
+            )
+        return request
+
+
+def _json_default(value):
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if hasattr(value, "item"):
+        return value.item()
+    raise TypeError(f"not JSON serialisable: {type(value).__name__}")
+
+
+def _iteration_row(result: IterationResult) -> Dict[str, object]:
+    """Per-iteration JSON row — same shape as ``python -m repro run``."""
+    return {
+        "iteration": result.iteration,
+        "percent_reduced": result.percent_reduced,
+        "nblocks": result.nblocks,
+        "nreduced": result.nreduced,
+        "moved_bytes": result.moved_bytes,
+        "modelled_steps": dict(result.modelled_steps),
+        "modelled_total": result.modelled_total,
+        "load_imbalance": result.load_imbalance,
+    }
+
+
+class ServeApp:
+    """The service: cache + worker pool + request handling.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for the on-disk replay cache.
+    max_workers:
+        Size of the shared run pool — the number of scenario runs that can
+        execute concurrently (further requests queue).
+    """
+
+    def __init__(self, cache_dir: Path, max_workers: int = 8) -> None:
+        self.cache = ReplayCache(Path(cache_dir))
+        self.executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+
+    # -- run execution -------------------------------------------------------
+
+    def _execute_run(
+        self,
+        request: RunRequest,
+        config,
+        emit,
+    ) -> Dict[str, object]:
+        """Blocking scenario run (worker-pool side).
+
+        ``emit(event_dict)`` is called for the start event and every
+        completed iteration; the returned dict is the final summary event.
+        """
+        scenario, was_hit = self.cache.scenario_for(config)
+        emit(
+            {
+                "type": "start",
+                "scenario": config.name or request.scenario,
+                "cache": "hit" if was_hit else "miss",
+                "cache_key": scenario_cache_key(config),
+                "iterations": config.nsnapshots,
+            }
+        )
+        adaptation: Optional[AdaptationConfig] = None
+        if request.target is not None:
+            adaptation = AdaptationConfig(enabled=True, target_seconds=request.target)
+        pipeline = scenario.build_pipeline(
+            metric=request.metric,
+            redistribution=request.redistribution,
+            adaptation=adaptation,
+            render_mode=request.render_mode,
+            engine=request.backend,
+            pipelined=request.pipelined,
+        )
+        run = pipeline.run(
+            scenario.iteration_blocks(),
+            percent_override=request.percent,
+            on_iteration=lambda result: emit(
+                {"type": "iteration", **_iteration_row(result)}
+            ),
+        )
+        return {
+            "type": "summary",
+            "scenario": {
+                "name": config.name or request.scenario,
+                "ncores": config.ncores,
+                "shape": list(config.shape),
+                "nsnapshots": config.nsnapshots,
+                "seed": config.seed,
+            },
+            "config": pipeline.config_summary(),
+            "run": run.summary(),
+            "cache": self.cache.stats(),
+        }
+
+    async def stream_run(self, request: RunRequest, write_line) -> None:
+        """Run a request on the pool, awaiting ``write_line`` per event."""
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue()
+        spec = get_scenario(request.scenario)  # KeyError -> handled by caller
+        config = spec.build(
+            ncores=request.ranks,
+            nsnapshots=request.snapshots,
+            seed=request.seed,
+        )
+
+        def emit(event: Dict[str, object]) -> None:
+            loop.call_soon_threadsafe(queue.put_nowait, event)
+
+        def runner() -> None:
+            try:
+                summary = self._execute_run(request, config, emit)
+                emit(summary)
+            except Exception as exc:  # surfaced as an error event
+                emit({"type": "error", "error": str(exc)})
+            finally:
+                loop.call_soon_threadsafe(queue.put_nowait, _SENTINEL)
+
+        future = loop.run_in_executor(self.executor, runner)
+        try:
+            while True:
+                event = await queue.get()
+                if event is _SENTINEL:
+                    break
+                await write_line(json.dumps(event, default=_json_default))
+        finally:
+            await future
+
+    # -- protocol ------------------------------------------------------------
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One HTTP/1.1 exchange (the server always closes after it)."""
+        try:
+            method, path, headers = await _read_request_head(reader)
+            body = b""
+            length = int(headers.get("content-length", "0") or "0")
+            if length:
+                body = await reader.readexactly(length)
+            await self._dispatch(writer, method, path, body)
+        except (asyncio.IncompleteReadError, ConnectionResetError, ValueError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(
+        self, writer: asyncio.StreamWriter, method: str, path: str, body: bytes
+    ) -> None:
+        if method == "GET" and path == "/health":
+            await _respond_json(
+                writer, 200, {"status": "ok", "cache": self.cache.stats()}
+            )
+            return
+        if method == "GET" and path == "/scenarios":
+            await _respond_json(writer, 200, {"scenarios": scenario_names()})
+            return
+        if method == "POST" and path == "/run":
+            await self._handle_run(writer, body)
+            return
+        await _respond_json(writer, 404, {"error": f"no route {method} {path}"})
+
+    async def _handle_run(self, writer: asyncio.StreamWriter, body: bytes) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+            request = RunRequest.from_payload(payload)
+        except (ValueError, UnicodeDecodeError) as exc:
+            await _respond_json(writer, 400, {"error": str(exc)})
+            return
+        try:
+            get_scenario(request.scenario)
+        except KeyError:
+            await _respond_json(
+                writer,
+                404,
+                {
+                    "error": f"unknown scenario {request.scenario!r}",
+                    "available": scenario_names(),
+                },
+            )
+            return
+
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Cache-Control: no-store\r\n"
+            b"Connection: close\r\n"
+            b"\r\n"
+        )
+        await writer.drain()
+
+        async def write_line(line: str) -> None:
+            writer.write(line.encode("utf-8") + b"\n")
+            await writer.drain()
+
+        await self.stream_run(request, write_line)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self, host: str, port: int) -> asyncio.AbstractServer:
+        """Bind and return the listening server (``port=0`` picks a free one)."""
+        return await asyncio.start_server(self.handle_connection, host, port)
+
+    def close(self) -> None:
+        """Shut the worker pool down (pending runs are allowed to finish)."""
+        self.executor.shutdown(wait=True)
+
+
+async def _read_request_head(
+    reader: asyncio.StreamReader,
+) -> Tuple[str, str, Dict[str, str]]:
+    """Parse the request line + headers; raises ``ValueError`` on garbage."""
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3:
+        raise ValueError(f"malformed request line: {lines[0]!r}")
+    method, path, _version = parts
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return method.upper(), path, headers
+
+
+async def _respond_json(
+    writer: asyncio.StreamWriter, status: int, payload: Dict[str, object]
+) -> None:
+    reasons = {200: "OK", 400: "Bad Request", 404: "Not Found"}
+    body = json.dumps(payload, default=_json_default).encode("utf-8") + b"\n"
+    writer.write(
+        f"HTTP/1.1 {status} {reasons.get(status, 'Error')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n"
+        f"\r\n".encode("latin-1")
+        + body
+    )
+    await writer.drain()
+
+
+async def serve_forever(
+    host: str,
+    port: int,
+    cache_dir: Path,
+    max_workers: int = 8,
+    ready_message: bool = True,
+) -> None:
+    """Run the service until cancelled (the ``python -m repro serve`` body)."""
+    app = ServeApp(cache_dir, max_workers=max_workers)
+    server = await app.start(host, port)
+    try:
+        bound = server.sockets[0].getsockname()
+        if ready_message:
+            print(f"repro serve listening on {bound[0]}:{bound[1]}", file=sys.stderr)
+            sys.stderr.flush()
+        async with server:
+            await server.serve_forever()
+    finally:
+        app.close()

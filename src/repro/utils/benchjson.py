@@ -1,4 +1,4 @@
-"""Machine-readable benchmark records (``BENCH_engine.json``).
+"""Machine-readable benchmark records (``BENCH_engine.json`` + history).
 
 The engine benchmarks print human-readable timings; CI additionally wants a
 machine-readable artefact it can upload and diff across runs.  Every gated
@@ -12,23 +12,38 @@ Records are keyed by ``(gate, scenario, backend)``: re-measuring a gate in
 the same or a later process replaces its record instead of appending a
 duplicate, and records written by earlier processes are preserved (the file
 is re-read before every rewrite).
+
+Both files are *live* outputs, not committed state (they are gitignored —
+committing them made every benchmark run a spurious diff).  The snapshot
+file holds the latest record per key; ``BENCH_history.jsonl`` additionally
+receives one appended JSON line per measurement, so trend lines across runs
+(and across PRs, via uploaded CI artifacts) survive the snapshot's
+overwrite semantics.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
-__all__ = ["default_bench_path", "record_bench"]
+__all__ = ["default_bench_path", "default_history_path", "record_bench"]
 
 _FILENAME = "BENCH_engine.json"
+_HISTORY_FILENAME = "BENCH_history.jsonl"
 
 
 def default_bench_path() -> Path:
     """``benchmarks/output/BENCH_engine.json`` next to this repository's benchmarks."""
     repo_root = Path(__file__).resolve().parents[3]
     return repo_root / "benchmarks" / "output" / _FILENAME
+
+
+def default_history_path() -> Path:
+    """``benchmarks/output/BENCH_history.jsonl`` — the append-only trend file."""
+    repo_root = Path(__file__).resolve().parents[3]
+    return repo_root / "benchmarks" / "output" / _HISTORY_FILENAME
 
 
 def _load_records(path: Path) -> Dict[Tuple[str, str, str], dict]:
@@ -79,7 +94,8 @@ def record_bench(
     passed:
         Whether the gate's assertion held (``None`` for pure measurements).
     path:
-        Target file; defaults to :func:`default_bench_path`.
+        Target snapshot file; defaults to :func:`default_bench_path`.  The
+        history line goes to ``BENCH_history.jsonl`` in the same directory.
     extra:
         Additional JSON-serialisable fields stored verbatim on the record.
     """
@@ -109,4 +125,10 @@ def record_bench(
     )
     target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(json.dumps({"records": ordered}, indent=2) + "\n")
+
+    # Trend line: the same record, timestamped and appended — never rewritten.
+    history = target.parent / _HISTORY_FILENAME
+    stamped = {"timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"), **record}
+    with open(history, "a") as fh:
+        fh.write(json.dumps(stamped) + "\n")
     return target

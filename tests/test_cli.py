@@ -153,9 +153,10 @@ class TestRun:
 
 
 class TestSweep:
-    def test_sweep_to_stdout(self, capsys):
+    def test_sweep_json_to_stdout(self, capsys):
+        """``--json`` prints the machine-readable record, mirroring ``run``."""
         code, out, _ = run_cli(
-            capsys, "sweep", "tiny", "--ranks", "4", "16", "--serial"
+            capsys, "sweep", "tiny", "--ranks", "4", "16", "--serial", "--json"
         )
         assert code == 0
         sweep = json.loads(out)
@@ -167,9 +168,22 @@ class TestSweep:
                 "scoring", "sorting", "reduction", "redistribution", "rendering",
             }
 
+    def test_sweep_human_readable_by_default(self, capsys):
+        """Without ``--json`` the output is a table, not a JSON document."""
+        code, out, _ = run_cli(
+            capsys, "sweep", "tiny", "--ranks", "4", "16", "--serial"
+        )
+        assert code == 0
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(out)
+        lines = out.strip().splitlines()
+        assert "weak-scaling sweep" in lines[0]
+        assert "ranks" in lines[1] and "dominant step" in lines[1]
+        assert len(lines) == 2 + 2  # header rows + one line per rank count
+
     def test_sweep_writes_output_file(self, capsys, tmp_path):
         output = tmp_path / "sweep" / "tiny.json"
-        code, _, err = run_cli(
+        code, out, err = run_cli(
             capsys,
             "sweep", "tiny", "--ranks", "4", "--serial",
             "--output", str(output),
@@ -177,18 +191,33 @@ class TestSweep:
         assert code == 0
         assert "wrote" in err
         assert json.loads(output.read_text())["ranks"] == [4]
+        assert out == ""  # --output alone keeps stdout empty
+
+    def test_sweep_json_and_output_combine(self, capsys, tmp_path):
+        """``--json --output`` writes the file AND prints the same record."""
+        output = tmp_path / "tiny.json"
+        code, out, _ = run_cli(
+            capsys,
+            "sweep", "tiny", "--ranks", "4", "--serial",
+            "--json", "--output", str(output),
+        )
+        assert code == 0
+        assert json.loads(out) == json.loads(output.read_text())
 
     def test_sweep_strong_mode_flag(self, capsys):
         code, out, _ = run_cli(
-            capsys, "sweep", "tiny", "--ranks", "4", "--mode", "strong", "--serial"
+            capsys,
+            "sweep", "tiny", "--ranks", "4", "--mode", "strong", "--serial",
+            "--json",
         )
         assert code == 0
         assert json.loads(out)["mode"] == "strong"
 
-    def test_sweep_unknown_scenario_fails(self, capsys):
+    def test_sweep_unknown_scenario_exits_2_and_names_available(self, capsys):
         code, _, err = run_cli(capsys, "sweep", "not_a_scenario", "--ranks", "4")
-        assert code != 0
-        assert "tiny" in err  # available scenarios are listed
+        assert code == 2
+        for name in ("tiny", "blue_waters_64"):
+            assert name in err  # available scenarios are listed
 
     def test_sweep_infeasible_ranks_fail_cleanly(self, capsys):
         code, _, err = run_cli(

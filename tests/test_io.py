@@ -154,6 +154,144 @@ class TestDatasetStore:
         np.testing.assert_array_equal(loaded.get_field("dbz"), f64)
 
 
+class TestRawLayout:
+    def _domain(self, grid, iteration=0, seed=0):
+        rng = np.random.default_rng(seed)
+        return Domain(
+            grid=grid,
+            fields={
+                "dbz": rng.normal(size=grid.shape).astype(np.float32),
+                "aux": rng.normal(size=grid.shape),  # float64
+            },
+            iteration=iteration,
+        )
+
+    def test_raw_roundtrip_bitwise(self, tmp_path):
+        grid = RectilinearGrid.uniform((6, 6, 4))
+        store = DatasetStore(tmp_path / "ds")
+        store.create(grid, layout="raw")
+        domain = self._domain(grid)
+        store.append(domain)
+        assert store.layout == "raw"
+        loaded = store.load_iteration(0)
+        for name in ("dbz", "aux"):
+            np.testing.assert_array_equal(
+                loaded.get_field(name), domain.get_field(name)
+            )
+            assert loaded.get_field(name).dtype == domain.get_field(name).dtype
+
+    def test_raw_offsets_recorded_and_aligned(self, tmp_path):
+        from repro.io.store import RAW_ALIGNMENT
+
+        grid = RectilinearGrid.uniform((6, 6, 4))
+        store = DatasetStore(tmp_path / "ds")
+        store.create(grid, layout="raw")
+        store.append(self._domain(grid))
+        record = store.manifest().find(0)
+        assert set(record.offsets) == {"dbz", "aux"}
+        for offset in record.offsets.values():
+            assert offset % RAW_ALIGNMENT == 0
+        assert record.filename.endswith(".bin")
+
+    def test_raw_mmap_load_is_zero_copy(self, tmp_path):
+        grid = RectilinearGrid.uniform((6, 6, 4))
+        store = DatasetStore(tmp_path / "ds")
+        store.create(grid, layout="raw")
+        domain = self._domain(grid)
+        store.append(domain)
+        loaded = store.load_iteration(0, mmap=True)
+        for name in ("dbz", "aux"):
+            field = loaded.get_field(name)
+            # Domain validation wraps the memmap in a plain ndarray view; the
+            # backing buffer must still be the read-only file mapping.
+            assert not field.flags.owndata
+            assert isinstance(field.base, np.memmap)
+            np.testing.assert_array_equal(field, domain.get_field(name))
+
+    def test_mmap_on_npz_store_rejected(self, tmp_path):
+        grid = RectilinearGrid.uniform((6, 6, 4))
+        store = DatasetStore(tmp_path / "ds")
+        store.create(grid)  # default npz layout
+        store.append(self._domain(grid))
+        with pytest.raises(ValueError):
+            store.load_iteration(0, mmap=True)
+
+    def test_unknown_layout_rejected(self, tmp_path):
+        store = DatasetStore(tmp_path / "ds")
+        with pytest.raises(ValueError):
+            store.create(RectilinearGrid.uniform((6, 6, 4)), layout="parquet")
+
+    def test_layout_survives_manifest_reload(self, tmp_path):
+        grid = RectilinearGrid.uniform((6, 6, 4))
+        store = DatasetStore(tmp_path / "ds")
+        store.create(grid, layout="raw")
+        store.append(self._domain(grid))
+        fresh = DatasetStore(tmp_path / "ds")
+        assert fresh.layout == "raw"
+        loaded = fresh.load_iteration(0, mmap=True)
+        assert isinstance(loaded.get_field("dbz").base, np.memmap)
+
+    def test_manifest_without_layout_defaults_to_npz(self, tmp_path):
+        """Manifests written before the raw layout existed still load."""
+        manifest = DatasetManifest(shape=(4, 4, 2))
+        text = manifest.to_json().replace('"layout": "npz",', "")
+        restored = DatasetManifest.from_json(text)
+        assert restored.layout == "npz"
+
+
+class TestCornerBlockReplay:
+    """Round-trips of *reduced* data: 2x2x2 corner blocks, mixed dtypes.
+
+    The reduction step replaces a block's payload with its 8 corner values;
+    a store holding reduced snapshots therefore persists 2x2x2 fields.  They
+    must survive both layouts bit-exactly — in every per-field dtype — and
+    reconstruct identically through trilinear expansion.
+    """
+
+    def _corner_fields(self):
+        from repro.grid.reduction import reduce_to_corners
+
+        rng = np.random.default_rng(7)
+        full_f64 = rng.normal(size=(8, 8, 6))
+        full_f32 = rng.normal(size=(8, 8, 6)).astype(np.float32)
+        return {
+            "corners_f64": reduce_to_corners(full_f64),
+            "corners_f32": reduce_to_corners(full_f32).astype(np.float32),
+        }
+
+    @pytest.mark.parametrize("layout", ["npz", "raw"])
+    def test_corner_blocks_roundtrip_both_layouts(self, tmp_path, layout):
+        grid = RectilinearGrid.uniform((2, 2, 2))
+        fields = self._corner_fields()
+        store = DatasetStore(tmp_path / "ds")
+        store.create(grid, layout=layout)
+        store.append(Domain(grid=grid, fields=fields, iteration=0))
+        loaded = store.load_iteration(0)
+        assert loaded.get_field("corners_f64").dtype == np.float64
+        assert loaded.get_field("corners_f32").dtype == np.float32
+        for name, original in fields.items():
+            np.testing.assert_array_equal(loaded.get_field(name), original)
+
+    def test_corner_blocks_mmap_expand_matches_original(self, tmp_path):
+        from repro.grid.reduction import expand_from_corners
+
+        grid = RectilinearGrid.uniform((2, 2, 2))
+        fields = self._corner_fields()
+        store = DatasetStore(tmp_path / "ds")
+        store.create(grid, layout="raw")
+        store.append(Domain(grid=grid, fields=fields, iteration=0))
+        loaded = store.load_iteration(0, mmap=True)
+        for name, original in fields.items():
+            replayed = loaded.get_field(name)
+            assert isinstance(replayed.base, np.memmap)
+            # Rendering a replayed reduced block must reconstruct exactly
+            # what rendering the live reduced block would have.
+            np.testing.assert_array_equal(
+                expand_from_corners(np.asarray(replayed, dtype=np.float64), (8, 8, 6)),
+                expand_from_corners(np.asarray(original, dtype=np.float64), (8, 8, 6)),
+            )
+
+
 class TestReplay:
     def test_equally_spaced_selection(self):
         available = list(range(100))
@@ -181,6 +319,26 @@ class TestReplay:
         assert len(iterations[0]) == 2  # per rank
         total_blocks = sum(len(blocks) for blocks in iterations[0])
         assert total_blocks == decomp.nblocks
+
+    def test_mmap_replayer_matches_npz_replayer(self, tmp_path):
+        """A raw-layout mmap replay hands out the same blocks as an npz one."""
+        config = CM1Config.tiny()
+        dataset = CM1Dataset(config, nsnapshots=2)
+        npz_store = dataset.save(tmp_path / "npz")
+        raw_store = dataset.save(tmp_path / "raw", layout="raw")
+        decomp = CartesianDecomposition(
+            config.shape, nranks=2, blocks_per_subdomain=(2, 1, 1)
+        )
+        npz_iters = list(DatasetReplayer(npz_store).per_rank_blocks(decomp, count=2))
+        raw_iters = list(
+            DatasetReplayer(raw_store, mmap=True).per_rank_blocks(decomp, count=2)
+        )
+        for npz_ranks, raw_ranks in zip(npz_iters, raw_iters):
+            for npz_blocks, raw_blocks in zip(npz_ranks, raw_ranks):
+                assert len(npz_blocks) == len(raw_blocks)
+                for a, b in zip(npz_blocks, raw_blocks):
+                    assert a.extent == b.extent
+                    np.testing.assert_array_equal(a.data, b.data)
 
 
 class TestCM1Dataset:

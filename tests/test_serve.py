@@ -1,0 +1,438 @@
+"""Tests for ``python -m repro serve``: streaming runs + the replay cache.
+
+The CI serve smoke-test step runs exactly this file (with a hard step
+timeout): in-process ``ServeApp`` tests cover concurrent streamed runs and
+the cache-hit guarantees, and one subprocess test exercises the real
+``python -m repro serve`` entry point end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cm1.dataset import StoredCM1Dataset
+from repro.io.store import DatasetStore
+from repro.scenarios import get_scenario, scenario_names
+from repro.serve import ReplayCache, RunRequest, ServeApp, scenario_cache_key
+
+TINY_RUN = {"scenario": "tiny", "snapshots": 2, "percent": 40.0}
+
+
+def _tiny_config(**overrides):
+    return get_scenario("tiny").build(**overrides)
+
+
+# -- cache key + replay cache -------------------------------------------------
+
+
+class TestScenarioCacheKey:
+    def test_equal_configs_share_a_key(self):
+        assert scenario_cache_key(_tiny_config()) == scenario_cache_key(_tiny_config())
+
+    def test_overrides_change_the_key(self):
+        base = scenario_cache_key(_tiny_config())
+        assert scenario_cache_key(_tiny_config(seed=999)) != base
+        assert scenario_cache_key(_tiny_config(nsnapshots=7)) != base
+
+    def test_key_is_filesystem_safe_and_named(self):
+        key = scenario_cache_key(_tiny_config())
+        assert key.startswith("tiny-")
+        assert key.replace("-", "").replace("_", "").isalnum()
+
+
+class TestReplayCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ReplayCache(tmp_path / "cache")
+        config = _tiny_config(nsnapshots=2)
+        assert not cache.peek(config)
+        _, was_hit = cache.scenario_for(config)
+        assert was_hit is False
+        assert cache.peek(config)
+        scenario, was_hit = cache.scenario_for(config)
+        assert was_hit is True
+        assert cache.stats() == {"hits": 1, "misses": 1}
+        # The hit replays a raw-layout store through read-only memory maps.
+        assert isinstance(scenario.dataset, StoredCM1Dataset)
+        store = DatasetStore(cache.store_path(config))
+        assert store.layout == "raw"
+
+    def test_hit_serves_mmap_backed_fields(self, tmp_path):
+        cache = ReplayCache(tmp_path / "cache")
+        config = _tiny_config(nsnapshots=1)
+        cache.scenario_for(config)  # warm
+        scenario, was_hit = cache.scenario_for(config)
+        assert was_hit is True
+        field = scenario.dataset.snapshot(0).get_field(config.field_name)
+        # Domain validation wraps the memmap in an ndarray view; the backing
+        # buffer must still be the file mapping (zero-copy, no owndata).
+        assert not field.flags.owndata
+        assert isinstance(field.base, np.memmap)
+
+    def test_replayed_data_matches_live_simulation(self, tmp_path):
+        cache = ReplayCache(tmp_path / "cache")
+        config = _tiny_config(nsnapshots=2)
+        live, _ = cache.scenario_for(config)
+        replay, was_hit = cache.scenario_for(config)
+        assert was_hit is True
+        for index in range(config.nsnapshots):
+            np.testing.assert_array_equal(
+                live.dataset.snapshot(index).get_field(config.field_name),
+                replay.dataset.snapshot(index).get_field(config.field_name),
+            )
+
+    def test_concurrent_identical_requests_simulate_once(self, tmp_path, monkeypatch):
+        import repro.cm1.simulation as simulation
+
+        calls = []
+        original = simulation.CM1Simulation.snapshot
+
+        def counting(self, snapshot_index):
+            calls.append(snapshot_index)
+            return original(self, snapshot_index)
+
+        monkeypatch.setattr(simulation.CM1Simulation, "snapshot", counting)
+        cache = ReplayCache(tmp_path / "cache")
+        config = _tiny_config(nsnapshots=2)
+
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            verdicts = [
+                f.result()[1]
+                for f in [pool.submit(cache.scenario_for, config) for _ in range(4)]
+            ]
+        assert sorted(verdicts) == [False, True, True, True]
+        # Exactly one simulation of each snapshot: the per-key lock made the
+        # other three requests wait, then replay from disk.
+        assert sorted(calls) == [0, 1]
+
+
+# -- request validation -------------------------------------------------------
+
+
+class TestRunRequest:
+    def test_minimal_payload(self):
+        request = RunRequest.from_payload({"scenario": "tiny"})
+        assert request.scenario == "tiny"
+        assert request.pipelined is True
+
+    def test_full_payload(self):
+        request = RunRequest.from_payload(
+            {
+                "scenario": "tiny", "ranks": 4, "snapshots": 3, "seed": 7,
+                "metric": "VAR", "redistribution": "shuffle", "percent": 40.0,
+                "render_mode": "mesh", "backend": "serial", "pipelined": False,
+            }
+        )
+        assert request.ranks == 4 and request.backend == "serial"
+        assert request.pipelined is False
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},  # scenario missing
+            {"scenario": "  "},
+            {"scenario": "tiny", "bogus_field": 1},
+            {"scenario": "tiny", "metric": "NOPE"},
+            {"scenario": "tiny", "redistribution": "sideways"},
+            {"scenario": "tiny", "render_mode": "holo"},
+            {"scenario": "tiny", "backend": "quantum"},
+            "not an object",
+        ],
+    )
+    def test_invalid_payloads_rejected(self, payload):
+        with pytest.raises(ValueError):
+            RunRequest.from_payload(payload)
+
+
+# -- in-process HTTP service --------------------------------------------------
+
+
+@contextlib.asynccontextmanager
+async def serve_app(tmp_path, **kwargs):
+    app = ServeApp(tmp_path / "cache", **kwargs)
+    server = await app.start("127.0.0.1", 0)
+    port = server.sockets[0].getsockname()[1]
+    try:
+        yield app, port
+    finally:
+        server.close()
+        await server.wait_closed()
+        app.close()
+
+
+async def _request(port, method, path, payload=None):
+    """One raw HTTP exchange; returns (status, body bytes read to EOF)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+    writer.write(
+        (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: localhost\r\nContent-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        + body
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    with contextlib.suppress(ConnectionResetError, BrokenPipeError):
+        await writer.wait_closed()
+    head, _, payload_bytes = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b"\r\n")[0].split()[1])
+    return status, payload_bytes
+
+
+def _events(body: bytes):
+    return [json.loads(line) for line in body.decode("utf-8").splitlines() if line]
+
+
+def _assert_run_stream(events, iterations):
+    """One streamed run: start, then per-iteration rows in order, then summary."""
+    assert [e["type"] for e in events] == (
+        ["start"] + ["iteration"] * iterations + ["summary"]
+    )
+    rows = [e for e in events if e["type"] == "iteration"]
+    assert [row["iteration"] for row in rows] == list(range(iterations))
+    for row in rows:
+        assert row["nblocks"] > 0
+        assert row["modelled_total"] > 0
+        assert set(row["modelled_steps"]) == {
+            "scoring", "sorting", "reduction", "redistribution", "rendering",
+        }
+    summary = events[-1]
+    assert summary["run"]["iterations"] == iterations
+    assert summary["config"]["pipelined"] in (True, False)
+
+
+class TestServeApp:
+    def test_health_and_scenarios(self, tmp_path):
+        async def body():
+            async with serve_app(tmp_path) as (_, port):
+                status, raw = await _request(port, "GET", "/health")
+                assert status == 200
+                assert json.loads(raw)["status"] == "ok"
+                status, raw = await _request(port, "GET", "/scenarios")
+                assert status == 200
+                assert json.loads(raw)["scenarios"] == list(scenario_names())
+
+        asyncio.run(body())
+
+    def test_unknown_route_404(self, tmp_path):
+        async def body():
+            async with serve_app(tmp_path) as (_, port):
+                status, _ = await _request(port, "GET", "/nope")
+                assert status == 404
+
+        asyncio.run(body())
+
+    def test_unknown_scenario_404_names_available(self, tmp_path):
+        async def body():
+            async with serve_app(tmp_path) as (_, port):
+                status, raw = await _request(
+                    port, "POST", "/run", {"scenario": "not_a_scenario"}
+                )
+                assert status == 404
+                payload = json.loads(raw)
+                assert payload["available"] == list(scenario_names())
+                assert "tiny" in payload["available"]
+
+        asyncio.run(body())
+
+    def test_bad_payload_400(self, tmp_path):
+        async def body():
+            async with serve_app(tmp_path) as (_, port):
+                status, raw = await _request(
+                    port, "POST", "/run", {"scenario": "tiny", "metric": "NOPE"}
+                )
+                assert status == 400
+                assert "metric" in json.loads(raw)["error"]
+
+        asyncio.run(body())
+
+    def test_single_run_streams_per_iteration_json(self, tmp_path):
+        async def body():
+            async with serve_app(tmp_path) as (_, port):
+                status, raw = await _request(port, "POST", "/run", TINY_RUN)
+                assert status == 200
+                events = _events(raw)
+                _assert_run_stream(events, iterations=2)
+                assert events[0]["cache"] == "miss"
+                assert events[0]["cache_key"].startswith("tiny-")
+
+        asyncio.run(body())
+
+    def test_four_concurrent_runs_and_single_simulation(self, tmp_path, monkeypatch):
+        """The acceptance gate: >=4 concurrent tiny runs, all streamed, the
+        identical ones resolved by one simulation."""
+        import repro.cm1.simulation as simulation
+
+        calls = []
+        original = simulation.CM1Simulation.snapshot
+
+        def counting(self, snapshot_index):
+            calls.append(snapshot_index)
+            return original(self, snapshot_index)
+
+        monkeypatch.setattr(simulation.CM1Simulation, "snapshot", counting)
+
+        async def body():
+            async with serve_app(tmp_path, max_workers=4) as (app, port):
+                results = await asyncio.gather(
+                    *[_request(port, "POST", "/run", TINY_RUN) for _ in range(4)]
+                )
+                for status, raw in results:
+                    assert status == 200
+                    _assert_run_stream(_events(raw), iterations=2)
+                verdicts = sorted(
+                    _events(raw)[0]["cache"] for _, raw in results
+                )
+                assert verdicts == ["hit", "hit", "hit", "miss"]
+                assert app.cache.stats() == {"hits": 3, "misses": 1}
+
+        asyncio.run(body())
+        # The four concurrent identical requests simulated each snapshot once.
+        assert sorted(calls) == [0, 1]
+
+    def test_second_identical_request_replays_without_simulation(
+        self, tmp_path, monkeypatch
+    ):
+        """After a warm run, an identical request must never re-simulate:
+        the simulation is forbidden outright and the run still succeeds."""
+        import repro.cm1.simulation as simulation
+
+        async def body():
+            async with serve_app(tmp_path) as (_, port):
+                status, raw = await _request(port, "POST", "/run", TINY_RUN)
+                assert status == 200
+                assert _events(raw)[0]["cache"] == "miss"
+
+                def forbidden(self, snapshot_index):
+                    raise AssertionError("cache hit must not re-simulate CM1")
+
+                monkeypatch.setattr(
+                    simulation.CM1Simulation, "snapshot", forbidden
+                )
+                status, raw = await _request(port, "POST", "/run", TINY_RUN)
+                assert status == 200
+                events = _events(raw)
+                assert events[0]["cache"] == "hit"
+                _assert_run_stream(events, iterations=2)
+
+        asyncio.run(body())
+
+    def test_cached_replay_matches_live_run_bitwise(self, tmp_path):
+        """The mmap replay feeds the pipeline the same numbers as the live
+        simulation: identical modelled timings, block counts, and scores."""
+
+        async def body():
+            async with serve_app(tmp_path) as (_, port):
+                _, first = await _request(port, "POST", "/run", TINY_RUN)
+                _, second = await _request(port, "POST", "/run", TINY_RUN)
+                rows = lambda raw: [
+                    e for e in _events(raw) if e["type"] == "iteration"
+                ]
+                assert rows(first) == rows(second)
+
+        asyncio.run(body())
+
+    def test_different_overrides_miss_separately(self, tmp_path):
+        async def body():
+            async with serve_app(tmp_path) as (app, port):
+                await _request(port, "POST", "/run", TINY_RUN)
+                status, raw = await _request(
+                    port, "POST", "/run", {**TINY_RUN, "seed": 1234}
+                )
+                assert status == 200
+                assert _events(raw)[0]["cache"] == "miss"
+                assert app.cache.stats()["misses"] == 2
+
+        asyncio.run(body())
+
+    def test_run_error_streams_error_event(self, tmp_path, monkeypatch):
+        """A failure mid-run surfaces as a streamed error event, not a hang."""
+        import repro.cm1.simulation as simulation
+
+        def explode(self, snapshot_index):
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setattr(simulation.CM1Simulation, "snapshot", explode)
+
+        async def body():
+            async with serve_app(tmp_path) as (_, port):
+                status, raw = await _request(port, "POST", "/run", TINY_RUN)
+                assert status == 200
+                events = _events(raw)
+                assert events[-1]["type"] == "error"
+                assert "synthetic failure" in events[-1]["error"]
+
+        asyncio.run(body())
+
+
+# -- the real subprocess entry point ------------------------------------------
+
+
+class TestServeSubprocess:
+    @pytest.fixture()
+    def env(self):
+        src_dir = Path(repro.__file__).resolve().parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src_dir)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        return env
+
+    def test_serve_cli_streams_and_caches(self, env, tmp_path):
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--cache-dir", str(tmp_path / "cache"),
+                "--workers", "2",
+            ],
+            stderr=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            port = None
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                line = proc.stderr.readline()
+                if not line and proc.poll() is not None:
+                    pytest.fail(f"serve exited early (rc={proc.returncode})")
+                if "repro serve listening on" in line:
+                    port = int(line.rsplit(":", 1)[1])
+                    break
+            assert port is not None, "server never reported its port"
+
+            def post_run(payload):
+                request = urllib.request.Request(
+                    f"http://127.0.0.1:{port}/run",
+                    data=json.dumps(payload).encode("utf-8"),
+                    headers={"Content-Type": "application/json"},
+                    method="POST",
+                )
+                with urllib.request.urlopen(request, timeout=120) as response:
+                    assert response.status == 200
+                    return _events(response.read())
+
+            events = post_run(TINY_RUN)
+            _assert_run_stream(events, iterations=2)
+            assert events[0]["cache"] == "miss"
+            events = post_run(TINY_RUN)
+            _assert_run_stream(events, iterations=2)
+            assert events[0]["cache"] == "hit"
+            assert events[-1]["cache"] == {"hits": 1, "misses": 1}
+        finally:
+            proc.terminate()
+            proc.wait(timeout=30)
