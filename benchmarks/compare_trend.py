@@ -1,0 +1,180 @@
+"""Cross-run benchmark trend comparison.
+
+CI uploads ``benchmarks/output/BENCH_history.jsonl`` after every run (one
+timestamped JSON line per gate measurement).  This script compares the
+*current* run's records against a *baseline* history downloaded from a
+previous run's artifact and flags regressions:
+
+.. code-block:: console
+
+   python benchmarks/compare_trend.py \
+       --baseline previous/BENCH_history.jsonl \
+       --current  benchmarks/output/BENCH_history.jsonl \
+       --threshold 0.20 --warn-only
+
+Records are matched by ``(gate, scenario, backend)`` — the same key the
+snapshot file uses.  For each key present in both files, the *latest* line
+per file is compared on measured ``seconds``: a current measurement more
+than ``threshold`` slower than baseline is a regression.  Gates whose
+baseline ran ungated (``gated: false`` — e.g. a single-core runner) are
+compared but reported as informational only, since their absolute timings
+are not comparable across runner shapes.
+
+Exit status: 0 when clean (or ``--warn-only``), 1 on regression, and 0 with
+a notice when either file is missing — the first CI run of a repository has
+no baseline artifact to compare against, and that must not fail the build.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Tuple
+
+Key = Tuple[str, str, str]
+
+
+def load_latest(path: Path) -> Dict[Key, dict]:
+    """Latest record per ``(gate, scenario, backend)`` from a history file.
+
+    Malformed lines are skipped (the file is append-only across process
+    crashes, so a torn final line is possible and harmless).
+    """
+    latest: Dict[Key, dict] = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if not isinstance(record, dict) or "seconds" not in record:
+                continue
+            key = (
+                str(record.get("gate", "")),
+                str(record.get("scenario", "")),
+                str(record.get("backend", "")),
+            )
+            latest[key] = record  # later lines win: the file is append-only
+    return latest
+
+
+def compare(
+    baseline: Dict[Key, dict],
+    current: Dict[Key, dict],
+    threshold: float,
+) -> Tuple[list, list, list]:
+    """Returns ``(regressions, improvements_or_flat, informational)`` rows.
+
+    Each row is ``(key, baseline_seconds, current_seconds, ratio)`` with
+    ``ratio = current / baseline`` (>1 is slower).
+    """
+    regressions, clean, info = [], [], []
+    for key in sorted(set(baseline) & set(current)):
+        base_s = float(baseline[key]["seconds"])
+        cur_s = float(current[key]["seconds"])
+        if base_s <= 0:
+            continue
+        ratio = cur_s / base_s
+        row = (key, base_s, cur_s, ratio)
+        # A baseline measured ungated (1-CPU runner) is not a comparable
+        # absolute timing — report it, never fail on it.
+        if baseline[key].get("gated") is False or current[key].get("gated") is False:
+            info.append(row)
+        elif ratio > 1.0 + threshold:
+            regressions.append(row)
+        else:
+            clean.append(row)
+    return regressions, clean, info
+
+
+def _print_rows(label: str, rows: list) -> None:
+    if not rows:
+        return
+    print(f"{label}:")
+    for (gate, scenario, backend), base_s, cur_s, ratio in rows:
+        print(
+            f"  {gate} / {scenario} / {backend}: "
+            f"{base_s:.3f}s -> {cur_s:.3f}s ({ratio - 1.0:+.0%} vs baseline)"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare two BENCH_history.jsonl files for regressions"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        required=True,
+        help="history file from the previous run (downloaded artifact)",
+    )
+    parser.add_argument(
+        "--current",
+        type=Path,
+        required=True,
+        help="history file produced by this run",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="relative slowdown that counts as a regression (default: 0.20)",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but exit 0 (for noisy shared runners)",
+    )
+    args = parser.parse_args(argv)
+    if not args.threshold > 0:
+        parser.error(f"--threshold must be > 0, got {args.threshold}")
+
+    for label, path in (("baseline", args.baseline), ("current", args.current)):
+        if not path.exists():
+            # No baseline on the first run of a repo / branch: nothing to
+            # compare is not a failure.
+            print(f"compare_trend: no {label} history at {path}; skipping")
+            return 0
+
+    baseline = load_latest(args.baseline)
+    current = load_latest(args.current)
+    regressions, clean, info = compare(baseline, current, args.threshold)
+
+    shared = len(regressions) + len(clean) + len(info)
+    print(
+        f"compare_trend: {shared} shared gate record(s), "
+        f"threshold {args.threshold:.0%}"
+    )
+    _print_rows("regressions", regressions)
+    _print_rows("within threshold", clean)
+    _print_rows("informational (ungated runner)", info)
+    only_new = sorted(set(current) - set(baseline))
+    if only_new:
+        print(f"new gates (no baseline): {len(only_new)}")
+        for gate, scenario, backend in only_new:
+            print(f"  {gate} / {scenario} / {backend}")
+
+    if regressions and not args.warn_only:
+        print(
+            f"compare_trend: FAIL — {len(regressions)} gate(s) regressed "
+            f"more than {args.threshold:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    if regressions:
+        print(
+            f"compare_trend: WARN — {len(regressions)} regression(s) "
+            f"(--warn-only)",
+        )
+    else:
+        print("compare_trend: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

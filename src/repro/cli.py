@@ -185,6 +185,46 @@ def _build_parser() -> argparse.ArgumentParser:
         default=8,
         help="concurrent scenario runs in the shared pool (default: 8)",
     )
+    serve_p.add_argument(
+        "--execution",
+        choices=("thread", "process"),
+        default="thread",
+        help=(
+            "run execution tier: 'thread' multiplexes runs over a thread "
+            "pool, 'process' dispatches each run to a GIL-free worker "
+            "process with zero-copy mmap data handoff (default: thread)"
+        ),
+    )
+    serve_p.add_argument(
+        "--max-run-seconds",
+        type=float,
+        default=None,
+        help=(
+            "server-side cap on each run's duration; a request timeout_s "
+            "can only tighten it (default: uncapped)"
+        ),
+    )
+    serve_p.add_argument(
+        "--cache-max-entries",
+        type=int,
+        default=None,
+        help="LRU bound on cached scenario stores (default: unbounded)",
+    )
+    serve_p.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        help="LRU bound on total cached bytes on disk (default: unbounded)",
+    )
+    serve_p.add_argument(
+        "--shutdown-grace",
+        type=float,
+        default=10.0,
+        help=(
+            "seconds to wait for cancelled in-flight runs to drain on "
+            "shutdown before abandoning them (default: 10)"
+        ),
+    )
     return parser
 
 
@@ -406,6 +446,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
+    if args.max_run_seconds is not None and not args.max_run_seconds > 0:
+        print(
+            f"error: --max-run-seconds must be > 0, got {args.max_run_seconds}",
+            file=sys.stderr,
+        )
+        return 2
+    for flag, value in (
+        ("--cache-max-entries", args.cache_max_entries),
+        ("--cache-max-bytes", args.cache_max_bytes),
+    ):
+        if value is not None and value < 1:
+            print(f"error: {flag} must be >= 1, got {value}", file=sys.stderr)
+            return 2
     cache_dir = args.cache_dir
     if cache_dir is None:
         cache_dir = Path(tempfile.mkdtemp(prefix="repro-serve-cache-"))
@@ -413,7 +466,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         asyncio.run(
             serve_forever(
-                args.host, args.port, cache_dir, max_workers=args.workers
+                args.host,
+                args.port,
+                cache_dir,
+                max_workers=args.workers,
+                execution=args.execution,
+                max_run_seconds=args.max_run_seconds,
+                cache_max_entries=args.cache_max_entries,
+                cache_max_bytes=args.cache_max_bytes,
+                shutdown_grace=args.shutdown_grace,
             )
         )
     except KeyboardInterrupt:

@@ -293,8 +293,12 @@ class PipelinedEngine(ExecutionEngine):
             Optional callback invoked as ``on_complete(index, context)``
             when *all* stages of an iteration have finished.  Callbacks fire
             in iteration order (the streaming contract the serve mode's
-            per-iteration JSON rows rely on) from scheduler threads; they
-            must not raise.
+            per-iteration JSON rows rely on) from scheduler threads.  A
+            callback that raises *cancels the run*: in-flight stages drain
+            without doing further work, no later callback fires, and the
+            exception is re-raised here — the hook the serve tier's
+            request deadlines use to abort a pipelined run between
+            iterations without deadlocking the stage workers.
 
         Returns
         -------
@@ -334,7 +338,15 @@ class PipelinedEngine(ExecutionEngine):
                     idx = next_to_report[0]
                     next_to_report[0] += 1
                     if on_complete is not None and not stop.is_set():
-                        on_complete(idx, contexts[idx])
+                        try:
+                            on_complete(idx, contexts[idx])
+                        except BaseException as exc:
+                            # A raising callback poisons the run exactly
+                            # like a failing stage: remaining stages drain
+                            # (events still fire) and the error re-raises
+                            # after every worker unwound.
+                            errors.append(exc)
+                            stop.set()
 
         def stage_worker(s: int, step: PipelineStep) -> None:
             for i in range(n):

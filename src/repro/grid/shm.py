@@ -54,6 +54,7 @@ __all__ = [
     "SharedBatchError",
     "SharedBlockBatch",
     "live_owned_segments",
+    "purge_owned_segments",
 ]
 
 
@@ -90,6 +91,22 @@ def live_owned_segments() -> Tuple[str, ...]:
     """
     with _OWNED_LOCK:
         return tuple(sorted(_OWNED))
+
+
+def purge_owned_segments() -> Tuple[str, ...]:
+    """Dispose every segment this process still owns; returns their names.
+
+    Well-behaved steps dispose their segments in ``finally`` blocks, so this
+    normally returns ``()``.  Long-lived servers call it anyway after a
+    cancelled (timed-out / shut-down) run and at shutdown: a run abandoned
+    mid-flight must not leak OS shared memory for the life of the process,
+    and a non-empty return value is itself a signal tests assert on.
+    """
+    with _OWNED_LOCK:
+        leaked = dict(_OWNED)
+    for batch in leaked.values():
+        batch.dispose()
+    return tuple(sorted(leaked))
 
 
 class SharedBlockBatch:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import shutil
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional
 
@@ -130,6 +131,32 @@ class DatasetStore:
     def exists(self) -> bool:
         """True if a manifest is present under the store root."""
         return (self.root / "manifest.json").exists()
+
+    def nbytes(self) -> int:
+        """Total on-disk bytes of the store (manifest, grid, every iteration).
+
+        Measured from the filesystem rather than the manifest's per-record
+        ``nbytes`` so it also accounts for the manifest and grid files —
+        this is the number the replay cache's ``max_bytes`` bound charges a
+        cached entry for.
+        """
+        if not self.root.exists():
+            return 0
+        return sum(
+            path.stat().st_size for path in self.root.rglob("*") if path.is_file()
+        )
+
+    def delete(self) -> None:
+        """Remove the store directory and everything in it (idempotent).
+
+        Open readers survive on POSIX: an ``np.memmap`` holds the inode
+        alive until it is unmapped, so eviction of a store that a replay is
+        still streaming from only unlinks the names — which is why the
+        replay cache additionally refuses to evict entries with registered
+        in-flight readers.
+        """
+        self._manifest = None
+        shutil.rmtree(self.root, ignore_errors=True)
 
     def manifest(self) -> DatasetManifest:
         """Return (and cache) the manifest."""

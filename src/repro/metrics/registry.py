@@ -15,7 +15,12 @@ from repro.metrics.bytewise import BytewiseEntropyMetric
 from repro.metrics.compression import CompressionRatioMetric
 from repro.metrics.entropy import HistogramEntropyMetric, LocalEntropyMetric
 from repro.metrics.interpolation import TrilinearErrorMetric
-from repro.metrics.statistics import RangeMetric, StdDevMetric, VarianceMetric
+from repro.metrics.statistics import (
+    PythonVarianceMetric,
+    RangeMetric,
+    StdDevMetric,
+    VarianceMetric,
+)
 
 MetricFactory = Callable[[], ScoreMetric]
 
@@ -72,6 +77,11 @@ def _build_default_registry() -> MetricRegistry:
     registry.register("FPZIP", CompressionRatioMetric.fpzip)
     registry.register("ZFP", CompressionRatioMetric.zfp)
     registry.register("LZ", CompressionRatioMetric.lz)
+    # The deliberately GIL-bound pure-Python scorer: registered so request
+    # payloads (serve mode, CLI) can select the shape of a user-supplied
+    # scalar metric — it is what the process execution tier exists to speed
+    # up, and what its throughput gate drives.
+    registry.register("PYVAR", PythonVarianceMetric)
     return registry
 
 

@@ -64,8 +64,9 @@ class PythonVarianceMetric(ScoreMetric):
     ``stride`` subsamples the block to keep the absolute cost at benchmark
     scale; scoring stays deterministic, so all backends agree bitwise.
 
-    Not registered in the metric registry: it exists as a benchmark/test
-    workload, not as a scoring recommendation.
+    Registered as ``"PYVAR"`` so serve/CLI request payloads can select it —
+    not as a scoring recommendation, but as the reference workload for the
+    process execution paths (a thread pool cannot speed it up at all).
     """
 
     name = "PYVAR"

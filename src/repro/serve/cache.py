@@ -8,15 +8,25 @@ and persists every snapshot as a raw-layout
 :class:`~repro.io.store.DatasetStore`; every later run (within or across
 server processes) replays the stored snapshots through read-only
 ``np.memmap`` views and never touches the simulation again.
+
+Long-lived servers need the cache *bounded*: ``max_entries`` / ``max_bytes``
+cap it with LRU eviction.  Eviction is decided under the cache's internal
+lock, honours in-flight readers (an entry a run is currently replaying is
+never evicted — pin one with :meth:`ReplayCache.acquire` /
+:meth:`ReplayCache.acquire_store`), and is counted alongside hits and misses
+in :meth:`ReplayCache.stats`, which ``GET /health`` surfaces.
 """
 
 from __future__ import annotations
 
 import hashlib
 import threading
+from collections import OrderedDict
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
+from repro.cm1.config import CM1Config
 from repro.cm1.dataset import CM1Dataset
 from repro.experiments.common import ExperimentScenario
 from repro.io.store import DatasetStore
@@ -38,6 +48,30 @@ def scenario_cache_key(config: ScenarioConfig) -> str:
     return f"{prefix}-{digest}"
 
 
+def _dataset_for(config: ScenarioConfig) -> CM1Dataset:
+    """A live CM1 dataset for ``config`` (the cache-miss data source).
+
+    ``cache=False``: the snapshots are about to be persisted and then
+    replayed from disk, so keeping a second in-memory copy for the life of
+    the save loop would only double peak memory.
+    """
+    if config.storm is not None:
+        cm1 = CM1Config(shape=config.shape, seed=config.seed, storm=config.storm)
+    else:
+        cm1 = CM1Config(shape=config.shape, seed=config.seed)
+    return CM1Dataset(cm1, nsnapshots=config.nsnapshots, cache=False)
+
+
+class _Entry:
+    """Book-keeping for one cached store (guarded by the cache lock)."""
+
+    __slots__ = ("nbytes", "readers")
+
+    def __init__(self, nbytes: int) -> None:
+        self.nbytes = int(nbytes)
+        self.readers = 0
+
+
 class ReplayCache:
     """Disk-backed scenario cache keyed by resolved config identity.
 
@@ -45,21 +79,60 @@ class ReplayCache:
     ----------
     root:
         Directory the per-config dataset stores live under (one
-        subdirectory per cache key).
+        subdirectory per cache key).  Stores already present under it —
+        from a previous server process — are adopted on construction in
+        mtime order (oldest = least recently used).
+    max_entries, max_bytes:
+        Optional bounds on the number of cached stores / their total
+        on-disk bytes.  When either is exceeded, least-recently-used
+        entries without in-flight readers are evicted (their directories
+        deleted) until the cache fits; pinned entries are skipped, so the
+        cache may transiently exceed its bounds while every entry is being
+        read.
 
-    Thread safety: ``scenario_for`` may be called concurrently from worker
+    Thread safety: all entry points may be called concurrently from worker
     threads; a per-key lock ensures that two simultaneous requests for the
     same config simulate at most once (the second waits, then replays).
-    ``hits`` / ``misses`` count resolved requests and are surfaced in the
-    serve responses.
+    ``hits`` / ``misses`` / ``evictions`` count resolved requests and
+    evicted stores and are surfaced in the serve responses.
     """
 
-    def __init__(self, root: Path) -> None:
+    def __init__(
+        self,
+        root: Path,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         self.root = Path(root)
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._guard = threading.Lock()
         self._key_locks: Dict[str, threading.Lock] = {}
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._adopt_existing()
+
+    # -- internal ------------------------------------------------------------
+
+    def _adopt_existing(self) -> None:
+        """Register stores left by a previous process, oldest first."""
+        if not self.root.exists():
+            return
+        found = []
+        for child in self.root.iterdir():
+            store = DatasetStore(child)
+            if child.is_dir() and store.exists():
+                found.append((child.stat().st_mtime, child.name, store.nbytes()))
+        with self._guard:
+            for _, key, nbytes in sorted(found):
+                self._entries[key] = _Entry(nbytes)
+            self._evict_locked()
 
     def _lock_for(self, key: str) -> threading.Lock:
         with self._guard:
@@ -67,6 +140,42 @@ class ReplayCache:
             if lock is None:
                 lock = self._key_locks[key] = threading.Lock()
             return lock
+
+    def _over_bounds_locked(self) -> bool:
+        if self.max_entries is not None and len(self._entries) > self.max_entries:
+            return True
+        if self.max_bytes is not None:
+            total = sum(entry.nbytes for entry in self._entries.values())
+            if total > self.max_bytes:
+                return True
+        return False
+
+    def _evict_locked(self) -> None:
+        """Evict LRU entries (readers == 0) until the cache fits its bounds.
+
+        Runs with ``self._guard`` held — the same lock under which readers
+        are pinned, so an entry observed at zero readers cannot gain one
+        mid-eviction.
+        """
+        while self._over_bounds_locked():
+            victim = next(
+                (k for k, e in self._entries.items() if e.readers == 0), None
+            )
+            if victim is None:
+                return  # every entry is being read; try again on release
+            del self._entries[victim]
+            self.evictions += 1
+            DatasetStore(self.root / victim).delete()
+
+    def _release(self, key: str) -> None:
+        with self._guard:
+            entry = self._entries.get(key)
+            if entry is not None and entry.readers > 0:
+                entry.readers -= 1
+            # A release may make an over-bounds cache evictable again.
+            self._evict_locked()
+
+    # -- public surface ------------------------------------------------------
 
     def store_path(self, config: ScenarioConfig) -> Path:
         """Directory the dataset store for ``config`` lives in (or will)."""
@@ -76,40 +185,96 @@ class ReplayCache:
         """True if a replay for ``config`` is already cached on disk."""
         return DatasetStore(self.store_path(config)).exists()
 
+    @contextmanager
+    def acquire_store(
+        self, config: ScenarioConfig
+    ) -> Iterator[Tuple[Path, bool]]:
+        """Pin the store for ``config``; yields ``(store_dir, was_hit)``.
+
+        The store is simulated and persisted on a miss (under the per-key
+        lock, so N simultaneous identical requests simulate exactly once and
+        exactly one of them reports the miss).  While the context is open
+        the entry counts as *read* and is exempt from LRU eviction — this is
+        the handle the serve tier holds for the whole duration of a run,
+        including process-tier runs whose worker re-opens the store by path.
+        """
+        key = scenario_cache_key(config)
+        store_dir = self.root / key
+        with self._lock_for(key):
+            with self._guard:
+                entry = self._entries.get(key)
+                if entry is None and DatasetStore(store_dir).exists():
+                    # Left by another process (or pre-seeded): adopt it.
+                    entry = self._entries[key] = _Entry(
+                        DatasetStore(store_dir).nbytes()
+                    )
+                was_hit = entry is not None
+                if was_hit:
+                    self.hits += 1
+                    entry.readers += 1
+                    self._entries.move_to_end(key)
+            if not was_hit:
+                # Simulate + persist outside the cache-wide guard (slow),
+                # still under the per-key lock (exactly-once).
+                _dataset_for(config).save(
+                    store_dir,
+                    extra_metadata={
+                        "scenario": config.name or "adhoc",
+                        "cache_key": key,
+                    },
+                    layout="raw",
+                )
+                with self._guard:
+                    entry = self._entries[key] = _Entry(
+                        DatasetStore(store_dir).nbytes()
+                    )
+                    entry.readers += 1
+                    self.misses += 1
+                    self._evict_locked()
+        try:
+            yield store_dir, was_hit
+        finally:
+            self._release(key)
+
+    @contextmanager
+    def acquire(
+        self, config: ScenarioConfig
+    ) -> Iterator[Tuple[ExperimentScenario, bool]]:
+        """Pin + open: yields ``(scenario, was_hit)`` backed by the store.
+
+        Hit or miss, the scenario replays the persisted snapshots through a
+        :class:`~repro.cm1.dataset.StoredCM1Dataset` opened with
+        ``mmap=True`` — fields come straight off the raw-layout store,
+        zero-copy, bitwise-identical to the live simulation (the raw layout
+        stores exact bytes).
+        """
+        with self.acquire_store(config) as (store_dir, was_hit):
+            dataset = CM1Dataset.load(
+                store_dir, field_name=config.field_name, mmap=True
+            )
+            yield ExperimentScenario(config, dataset=dataset), was_hit
+
     def scenario_for(self, config: ScenarioConfig) -> "Tuple[ExperimentScenario, bool]":
         """Resolve a config to ``(scenario, was_hit)``, cached.
 
-        On a cache hit the scenario is backed by a
-        :class:`~repro.cm1.dataset.StoredCM1Dataset` opened with
-        ``mmap=True`` — snapshot fields come straight off the raw-layout
-        store, zero-copy, and the CM1 simulation is never constructed.  On
-        a miss the scenario simulates live (and keeps its in-memory snapshot
-        cache for the current run), then persists every snapshot so the next
-        identical request hits.  The verdict is decided under the per-key
-        lock, so of N simultaneous identical requests exactly one reports a
-        miss — the one that simulated.
+        Unpinned convenience over :meth:`acquire` — the entry is eviction
+        fair game as soon as this returns, so callers that stream a long
+        replay under a bounded cache should hold :meth:`acquire` open
+        instead.  (Safe either way on POSIX: the mmap keeps the deleted
+        file's inode alive; eviction only unlinks names.)
         """
-        key = scenario_cache_key(config)
-        with self._lock_for(key):
-            store_dir = self.root / key
-            if DatasetStore(store_dir).exists():
-                with self._guard:
-                    self.hits += 1
-                dataset = CM1Dataset.load(
-                    store_dir, field_name=config.field_name, mmap=True
-                )
-                return ExperimentScenario(config, dataset=dataset), True
-            with self._guard:
-                self.misses += 1
-            scenario = ExperimentScenario(config)
-            scenario.dataset.save(
-                store_dir,
-                extra_metadata={"scenario": config.name or "adhoc", "cache_key": key},
-                layout="raw",
-            )
-            return scenario, False
+        with self.acquire(config) as (scenario, was_hit):
+            return scenario, was_hit
 
-    def stats(self) -> Dict[str, int]:
-        """Hit/miss counters (snapshot, not a live view)."""
+    def stats(self) -> Dict[str, Optional[int]]:
+        """Hit/miss/eviction counters and occupancy (snapshot, not a view)."""
         with self._guard:
-            return {"hits": self.hits, "misses": self.misses}
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._entries),
+                "bytes": sum(entry.nbytes for entry in self._entries.values()),
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+            }

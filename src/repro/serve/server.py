@@ -5,7 +5,9 @@ plus hand-rolled request parsing — no web framework in the image), because
 the protocol is tiny:
 
 ``GET /health``
-    ``{"status": "ok", "cache": {...}}`` — liveness plus cache counters.
+    ``{"status": "ok", "execution": ..., "cache": {...}, "executor": {...}}``
+    — liveness plus cache counters (hits/misses/evictions/occupancy) and
+    executor depth (active runs, queued runs, worker count, execution tier).
 
 ``GET /scenarios``
     The registered workload names.
@@ -13,40 +15,80 @@ the protocol is tiny:
 ``POST /run``
     JSON body selecting a registered scenario and optional overrides
     (``ranks``, ``snapshots``, ``seed``, ``metric``, ``redistribution``,
-    ``percent``, ``target``, ``render_mode``, ``backend``, ``pipelined``).
-    The response streams NDJSON: one ``start`` event (with the cache
-    verdict), one ``iteration`` event per completed pipeline iteration *as
-    it completes*, and a final ``summary`` event matching ``python -m repro
-    run``'s machine-readable contract.
+    ``percent``, ``target``, ``render_mode``, ``backend``, ``pipelined``,
+    ``timeout_s``).  The response streams NDJSON: one ``start`` event (with
+    the cache verdict), one ``iteration`` event per completed pipeline
+    iteration *as it completes*, and a final ``summary`` event matching
+    ``python -m repro run``'s machine-readable contract — or a terminal
+    ``error`` event whose ``reason`` distinguishes a ``"timeout"`` (the
+    request's ``timeout_s`` or the server's ``--max-run-seconds`` cap
+    expired), a ``"shutdown"`` (the server is draining), and an
+    ``"exception"``.
 
-Runs execute on a shared :class:`~concurrent.futures.ThreadPoolExecutor`,
-so many concurrent requests multiplex over a bounded worker pool while the
-event loop keeps streaming.  Scenario data resolves through the
-:class:`~repro.serve.cache.ReplayCache`: the first request for a config
-simulates CM1 and persists the snapshots, every identical request after it
-replays them via read-only memory maps.
+Two execution tiers (``ServeApp(execution=...)``, CLI ``--execution``):
+
+``"thread"`` (default)
+    Runs execute on a shared :class:`~concurrent.futures.ThreadPoolExecutor`
+    — many concurrent requests multiplex over a bounded pool while the
+    event loop keeps streaming.  NumPy-heavy runs overlap well; runs
+    dominated by *GIL-bound* Python (scalar user metrics like ``PYVAR``)
+    serialise on one core.
+
+``"process"``
+    Each run executes in a worker process from the shared
+    :func:`~repro.utils.procpool.shared_process_pool`, GIL-free.  Snapshot
+    data is never pickled to workers: the worker re-opens the replay
+    cache's raw-layout store by path through read-only memory maps (see
+    :mod:`repro.serve.procrun`), and iteration events stream back over a
+    manager queue, so NDJSON latency-to-first-event stays flat.
+
+Scenario data resolves through the :class:`~repro.serve.cache.ReplayCache`:
+the first request for a config simulates CM1 and persists the snapshots,
+every identical request after it replays them via read-only memory maps.
+The cache entry stays pinned (eviction-exempt) for the duration of each run.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import queue as queue_module
 import sys
+import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.backends import engine_backends
 from repro.core.config import AdaptationConfig
-from repro.core.results import IterationResult
+from repro.grid.shm import purge_owned_segments
 from repro.metrics.registry import default_registry
 from repro.scenarios import get_scenario, scenario_names
 from repro.serve.cache import ReplayCache, scenario_cache_key
+from repro.serve.procrun import RunCancelled, iteration_row, run_scenario_in_worker
+from repro.utils.procpool import (
+    default_process_workers,
+    shared_manager,
+    shared_process_pool,
+    warm_shared_pool,
+)
 
-__all__ = ["RunRequest", "ServeApp", "serve_forever"]
+__all__ = ["EXECUTION_TIERS", "RunRequest", "ServeApp", "serve_forever"]
 
 _SENTINEL = object()
+
+#: Valid values of ``ServeApp(execution=...)`` / ``serve --execution``.
+EXECUTION_TIERS = ("thread", "process")
+
+#: Seconds past a request deadline before the *streaming* side force-closes
+#: the response.  The cooperative cancel normally fires first (between
+#: iterations); this watchdog only catches a run stuck inside one iteration.
+STREAM_GRACE_SECONDS = 2.0
+
+#: Poll interval of the process-tier event drain and the shutdown drain.
+_POLL_SECONDS = 0.05
 
 
 @dataclass(frozen=True)
@@ -64,6 +106,7 @@ class RunRequest:
     render_mode: str = "count"
     backend: Optional[str] = None
     pipelined: bool = True
+    timeout_s: Optional[float] = None
 
     @classmethod
     def from_payload(cls, payload: Dict[str, object]) -> "RunRequest":
@@ -76,7 +119,7 @@ class RunRequest:
         known = {
             "scenario", "ranks", "snapshots", "seed", "metric",
             "redistribution", "percent", "target", "render_mode", "backend",
-            "pipelined",
+            "pipelined", "timeout_s",
         }
         unknown = set(payload) - known
         if unknown:
@@ -101,6 +144,11 @@ class RunRequest:
                 else str(payload["backend"]).strip().lower()
             ),
             pipelined=bool(payload.get("pipelined", True)),
+            timeout_s=(
+                None
+                if payload.get("timeout_s") is None
+                else float(payload["timeout_s"])
+            ),
         )
         if request.metric.strip().upper() not in default_registry():
             raise ValueError(
@@ -121,6 +169,8 @@ class RunRequest:
                 f"unknown backend {request.backend!r}; available: "
                 f"{', '.join(engine_backends())}"
             )
+        if request.timeout_s is not None and not request.timeout_s > 0:
+            raise ValueError(f"timeout_s must be > 0, got {request.timeout_s}")
         return request
 
 
@@ -132,125 +182,385 @@ def _json_default(value):
     raise TypeError(f"not JSON serialisable: {type(value).__name__}")
 
 
-def _iteration_row(result: IterationResult) -> Dict[str, object]:
-    """Per-iteration JSON row — same shape as ``python -m repro run``."""
-    return {
-        "iteration": result.iteration,
-        "percent_reduced": result.percent_reduced,
-        "nblocks": result.nblocks,
-        "nreduced": result.nreduced,
-        "moved_bytes": result.moved_bytes,
-        "modelled_steps": dict(result.modelled_steps),
-        "modelled_total": result.modelled_total,
-        "load_imbalance": result.load_imbalance,
-    }
+class _RunScope:
+    """Cancellation scope of one run: deadline + cancel flag + shutdown.
+
+    Shared between the streaming coroutine (which enforces the hard stream
+    deadline), the runner thread (which checks cooperatively between
+    iterations via :meth:`check`), and — in the process tier — a manager
+    Event proxy mirrored into the worker process.
+    """
+
+    def __init__(
+        self, timeout_s: Optional[float], shutdown: threading.Event
+    ) -> None:
+        self.timeout_s = timeout_s
+        self.started = time.monotonic()
+        self.deadline = None if timeout_s is None else self.started + timeout_s
+        self._shutdown = shutdown
+        self._cancel = threading.Event()
+        self._reason: Optional[str] = None
+        self._remote_cancel = None  # manager Event proxy (process tier)
+
+    def attach_remote_cancel(self, remote) -> None:
+        self._remote_cancel = remote
+        if self.cancelled() is not None:
+            remote.set()
+
+    def request_cancel(self, reason: str) -> None:
+        if self._reason is None:
+            self._reason = reason
+        self._cancel.set()
+        if self._remote_cancel is not None:
+            self._remote_cancel.set()
+
+    def cancelled(self) -> Optional[str]:
+        """The cancel reason if this run should stop, else ``None``."""
+        if self._cancel.is_set():
+            return self._reason or "timeout"
+        if self._shutdown.is_set():
+            return "shutdown"
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            return "timeout"
+        return None
+
+    def check(self) -> None:
+        """Raise :class:`RunCancelled` when the run should stop."""
+        reason = self.cancelled()
+        if reason is not None:
+            self.request_cancel(reason)
+            raise RunCancelled(reason)
+
+    def stream_expired(self) -> bool:
+        """Whether the streaming side should give up on the runner."""
+        return (
+            self.deadline is not None
+            and time.monotonic() > self.deadline + STREAM_GRACE_SECONDS
+        )
 
 
 class ServeApp:
-    """The service: cache + worker pool + request handling.
+    """The service: cache + worker pools + request handling.
 
     Parameters
     ----------
     cache_dir:
         Directory for the on-disk replay cache.
     max_workers:
-        Size of the shared run pool — the number of scenario runs that can
-        execute concurrently (further requests queue).
+        Number of scenario runs that can execute concurrently (further
+        requests queue).  In the process tier this bounds the server-side
+        streaming threads; worker processes are bounded by the shared
+        process pool (:func:`default_process_workers`).
+    execution:
+        ``"thread"`` (default) or ``"process"`` — see the module docstring.
+    max_run_seconds:
+        Server-side cap on each run's duration.  A request's ``timeout_s``
+        can only tighten it; the effective deadline is the minimum of both.
+    cache_max_entries, cache_max_bytes:
+        LRU bounds forwarded to :class:`~repro.serve.cache.ReplayCache`.
+    shutdown_grace:
+        Seconds :meth:`close` waits for cancelled in-flight runs to drain
+        before abandoning them.
     """
 
-    def __init__(self, cache_dir: Path, max_workers: int = 8) -> None:
-        self.cache = ReplayCache(Path(cache_dir))
-        self.executor = ThreadPoolExecutor(
-            max_workers=max_workers, thread_name_prefix="repro-serve"
+    def __init__(
+        self,
+        cache_dir: Path,
+        max_workers: int = 8,
+        execution: str = "thread",
+        max_run_seconds: Optional[float] = None,
+        cache_max_entries: Optional[int] = None,
+        cache_max_bytes: Optional[int] = None,
+        shutdown_grace: float = 10.0,
+    ) -> None:
+        if execution not in EXECUTION_TIERS:
+            raise ValueError(
+                f"execution must be one of {EXECUTION_TIERS}, got {execution!r}"
+            )
+        if max_run_seconds is not None and not max_run_seconds > 0:
+            raise ValueError(
+                f"max_run_seconds must be > 0, got {max_run_seconds}"
+            )
+        self.execution = execution
+        self.max_run_seconds = max_run_seconds
+        self.shutdown_grace = float(shutdown_grace)
+        self.cache = ReplayCache(
+            Path(cache_dir),
+            max_entries=cache_max_entries,
+            max_bytes=cache_max_bytes,
         )
+        self.max_workers = int(max_workers)
+        self.executor = ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="repro-serve"
+        )
+        self._shutdown = threading.Event()
+        self._runs_lock = threading.Lock()
+        self._submitted = 0
+        self._active = 0
+        self._completed = 0
+        if execution == "process":
+            # Fork the worker processes (and the manager daemon) during
+            # single-threaded startup, not from the first request thread.
+            shared_manager()
+            warm_shared_pool()
+
+    # -- run accounting ------------------------------------------------------
+
+    def _run_submitted(self) -> None:
+        with self._runs_lock:
+            self._submitted += 1
+
+    def _run_started(self) -> None:
+        with self._runs_lock:
+            self._active += 1
+
+    def _run_finished(self) -> None:
+        with self._runs_lock:
+            self._active -= 1
+            self._completed += 1
+
+    def executor_stats(self) -> Dict[str, object]:
+        """Executor depth for ``GET /health``."""
+        with self._runs_lock:
+            active = self._active
+            queued = max(0, self._submitted - self._completed - active)
+            completed = self._completed
+        workers = (
+            default_process_workers()
+            if self.execution == "process"
+            else self.max_workers
+        )
+        return {
+            "execution": self.execution,
+            "workers": workers,
+            "active": active,
+            "queued": queued,
+            "completed": completed,
+        }
+
+    def _timeout_for(self, request: RunRequest) -> Optional[float]:
+        """Effective run timeout: request ``timeout_s`` ∧ server cap."""
+        bounds = [
+            t for t in (request.timeout_s, self.max_run_seconds) if t is not None
+        ]
+        return min(bounds) if bounds else None
 
     # -- run execution -------------------------------------------------------
 
     def _execute_run(
-        self,
-        request: RunRequest,
-        config,
-        emit,
+        self, request: RunRequest, config, emit, scope: _RunScope
     ) -> Dict[str, object]:
-        """Blocking scenario run (worker-pool side).
+        """Blocking scenario run (worker-pool side), either tier.
 
         ``emit(event_dict)`` is called for the start event and every
         completed iteration; the returned dict is the final summary event.
+        Raises :class:`RunCancelled` when the scope's deadline expires or a
+        cancellation (shutdown, disconnect) is requested — always between
+        iterations, so partial NDJSON output stays well-formed.
         """
-        scenario, was_hit = self.cache.scenario_for(config)
-        emit(
-            {
-                "type": "start",
-                "scenario": config.name or request.scenario,
-                "cache": "hit" if was_hit else "miss",
-                "cache_key": scenario_cache_key(config),
-                "iterations": config.nsnapshots,
+        if self.execution == "process":
+            return self._execute_process_run(request, config, emit, scope)
+        with self.cache.acquire(config) as (scenario, was_hit):
+            emit(self._start_event(request, config, was_hit))
+            scope.check()
+            adaptation: Optional[AdaptationConfig] = None
+            if request.target is not None:
+                adaptation = AdaptationConfig(
+                    enabled=True, target_seconds=request.target
+                )
+            pipeline = scenario.build_pipeline(
+                metric=request.metric,
+                redistribution=request.redistribution,
+                adaptation=adaptation,
+                render_mode=request.render_mode,
+                engine=request.backend,
+                pipelined=request.pipelined,
+            )
+
+            def on_iteration(result) -> None:
+                scope.check()
+                emit({"type": "iteration", **iteration_row(result)})
+
+            run = pipeline.run(
+                scenario.iteration_blocks(),
+                percent_override=request.percent,
+                on_iteration=on_iteration,
+            )
+            scope.check()
+            return {
+                "type": "summary",
+                "scenario": {
+                    "name": config.name or request.scenario,
+                    "ncores": config.ncores,
+                    "shape": list(config.shape),
+                    "nsnapshots": config.nsnapshots,
+                    "seed": config.seed,
+                },
+                "config": pipeline.config_summary(),
+                "run": run.summary(),
+                "cache": self.cache.stats(),
             }
-        )
-        adaptation: Optional[AdaptationConfig] = None
-        if request.target is not None:
-            adaptation = AdaptationConfig(enabled=True, target_seconds=request.target)
-        pipeline = scenario.build_pipeline(
-            metric=request.metric,
-            redistribution=request.redistribution,
-            adaptation=adaptation,
-            render_mode=request.render_mode,
-            engine=request.backend,
-            pipelined=request.pipelined,
-        )
-        run = pipeline.run(
-            scenario.iteration_blocks(),
-            percent_override=request.percent,
-            on_iteration=lambda result: emit(
-                {"type": "iteration", **_iteration_row(result)}
-            ),
-        )
+
+    def _execute_process_run(
+        self, request: RunRequest, config, emit, scope: _RunScope
+    ) -> Dict[str, object]:
+        """Dispatch one run to a worker process and relay its event stream.
+
+        The cache entry stays pinned (``acquire_store``) while the worker
+        re-opens the store by path; iteration events arrive over a manager
+        queue and are forwarded as they land.  Cancellation mirrors the
+        scope into the worker through a manager Event — the worker aborts
+        between iterations and its ``finally`` purges any shm segments.
+        """
+        with self.cache.acquire_store(config) as (store_dir, was_hit):
+            emit(self._start_event(request, config, was_hit))
+            scope.check()
+            manager = shared_manager()
+            events = manager.Queue()
+            remote_cancel = manager.Event()
+            scope.attach_remote_cancel(remote_cancel)
+            deadline_wall = (
+                None
+                if scope.deadline is None
+                else time.time() + max(0.0, scope.deadline - time.monotonic())
+            )
+            future = shared_process_pool().submit(
+                run_scenario_in_worker,
+                asdict(request),
+                config,
+                str(store_dir),
+                events,
+                remote_cancel,
+                deadline_wall,
+            )
+            try:
+                while True:
+                    reason = scope.cancelled()
+                    if reason is not None:
+                        scope.request_cancel(reason)  # mirrors to the worker
+                        future.cancel()  # no-op once running; frees a queued task
+                        raise RunCancelled(reason)
+                    try:
+                        event = events.get(timeout=_POLL_SECONDS)
+                    except queue_module.Empty:
+                        if future.done():
+                            while True:  # worker returned: drain stragglers
+                                try:
+                                    event = events.get_nowait()
+                                except queue_module.Empty:
+                                    break
+                                emit(event)
+                            break
+                        continue
+                    emit(event)
+                summary = future.result()
+                summary["cache"] = self.cache.stats()
+                return summary
+            finally:
+                # A cancelled parent never leaks segments of its own, and a
+                # cancelled worker purges its side (procrun's finally).
+                if scope.cancelled() is not None:
+                    purge_owned_segments()
+
+    def _start_event(
+        self, request: RunRequest, config, was_hit: bool
+    ) -> Dict[str, object]:
         return {
-            "type": "summary",
-            "scenario": {
-                "name": config.name or request.scenario,
-                "ncores": config.ncores,
-                "shape": list(config.shape),
-                "nsnapshots": config.nsnapshots,
-                "seed": config.seed,
-            },
-            "config": pipeline.config_summary(),
-            "run": run.summary(),
-            "cache": self.cache.stats(),
+            "type": "start",
+            "scenario": config.name or request.scenario,
+            "cache": "hit" if was_hit else "miss",
+            "cache_key": scenario_cache_key(config),
+            "iterations": config.nsnapshots,
+            "execution": self.execution,
         }
 
     async def stream_run(self, request: RunRequest, write_line) -> None:
         """Run a request on the pool, awaiting ``write_line`` per event."""
         loop = asyncio.get_running_loop()
-        queue: asyncio.Queue = asyncio.Queue()
+        out_queue: asyncio.Queue = asyncio.Queue()
         spec = get_scenario(request.scenario)  # KeyError -> handled by caller
         config = spec.build(
             ncores=request.ranks,
             nsnapshots=request.snapshots,
             seed=request.seed,
         )
+        scope = _RunScope(self._timeout_for(request), self._shutdown)
 
         def emit(event: Dict[str, object]) -> None:
-            loop.call_soon_threadsafe(queue.put_nowait, event)
+            loop.call_soon_threadsafe(out_queue.put_nowait, event)
 
         def runner() -> None:
+            self._run_started()
             try:
-                summary = self._execute_run(request, config, emit)
+                summary = self._execute_run(request, config, emit, scope)
                 emit(summary)
+            except RunCancelled as exc:
+                emit(
+                    {
+                        "type": "error",
+                        "reason": exc.reason,
+                        "error": self._cancel_message(exc.reason, scope),
+                    }
+                )
             except Exception as exc:  # surfaced as an error event
-                emit({"type": "error", "error": str(exc)})
+                emit({"type": "error", "reason": "exception", "error": str(exc)})
             finally:
-                loop.call_soon_threadsafe(queue.put_nowait, _SENTINEL)
+                self._run_finished()
+                loop.call_soon_threadsafe(out_queue.put_nowait, _SENTINEL)
 
+        self._run_submitted()
         future = loop.run_in_executor(self.executor, runner)
+        finished = False
         try:
             while True:
-                event = await queue.get()
+                try:
+                    event = await asyncio.wait_for(
+                        out_queue.get(), timeout=_POLL_SECONDS * 5
+                    )
+                except asyncio.TimeoutError:
+                    # Watchdog: the cooperative cancel normally ends the
+                    # stream via the runner's error event; this only fires
+                    # for a run wedged inside a single iteration.
+                    if scope.stream_expired():
+                        scope.request_cancel("timeout")
+                        await write_line(
+                            json.dumps(
+                                {
+                                    "type": "error",
+                                    "reason": "timeout",
+                                    "error": self._cancel_message(
+                                        "timeout", scope
+                                    ),
+                                },
+                                default=_json_default,
+                            )
+                        )
+                        return
+                    continue
                 if event is _SENTINEL:
+                    finished = True
                     break
                 await write_line(json.dumps(event, default=_json_default))
         finally:
-            await future
+            if not finished:
+                # Client gone or stream abandoned: stop the run promptly.
+                if scope.cancelled() is None:
+                    scope.request_cancel("disconnect")
+                with _suppress_concurrent_errors():
+                    await future
+
+    @staticmethod
+    def _cancel_message(reason: str, scope: _RunScope) -> str:
+        if reason == "timeout":
+            bound = scope.timeout_s
+            return (
+                f"run exceeded its deadline of {bound:.3f}s"
+                if bound is not None
+                else "run cancelled by deadline"
+            )
+        if reason == "shutdown":
+            return "server is shutting down"
+        return f"run cancelled ({reason})"
 
     # -- protocol ------------------------------------------------------------
 
@@ -279,7 +589,14 @@ class ServeApp:
     ) -> None:
         if method == "GET" and path == "/health":
             await _respond_json(
-                writer, 200, {"status": "ok", "cache": self.cache.stats()}
+                writer,
+                200,
+                {
+                    "status": "ok",
+                    "execution": self.execution,
+                    "cache": self.cache.stats(),
+                    "executor": self.executor_stats(),
+                },
             )
             return
         if method == "GET" and path == "/scenarios":
@@ -331,9 +648,38 @@ class ServeApp:
         """Bind and return the listening server (``port=0`` picks a free one)."""
         return await asyncio.start_server(self.handle_connection, host, port)
 
-    def close(self) -> None:
-        """Shut the worker pool down (pending runs are allowed to finish)."""
-        self.executor.shutdown(wait=True)
+    def close(self, grace_s: Optional[float] = None) -> None:
+        """Shut down, cancelling in-flight runs within a bounded grace.
+
+        Sets the shutdown flag every run scope observes (thread-tier runs
+        abort at their next iteration boundary, process-tier drains mirror
+        the cancel into their workers), waits up to ``grace_s`` (default:
+        the configured ``shutdown_grace``) for active runs to drain, then
+        abandons whatever is left rather than blocking exit on it.
+        """
+        grace = self.shutdown_grace if grace_s is None else float(grace_s)
+        self._shutdown.set()
+        deadline = time.monotonic() + max(0.0, grace)
+        while time.monotonic() < deadline:
+            with self._runs_lock:
+                drained = self._active == 0 and self._submitted == self._completed
+            if drained:
+                break
+            time.sleep(_POLL_SECONDS)
+        self.executor.shutdown(wait=False, cancel_futures=True)
+        purge_owned_segments()
+
+
+class _suppress_concurrent_errors:
+    """``await future`` in cleanup must never mask the original error."""
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return exc_type is not None and issubclass(
+            exc_type, (Exception, asyncio.CancelledError)
+        )
 
 
 async def _read_request_head(
@@ -376,10 +722,23 @@ async def serve_forever(
     port: int,
     cache_dir: Path,
     max_workers: int = 8,
+    execution: str = "thread",
+    max_run_seconds: Optional[float] = None,
+    cache_max_entries: Optional[int] = None,
+    cache_max_bytes: Optional[int] = None,
+    shutdown_grace: float = 10.0,
     ready_message: bool = True,
 ) -> None:
     """Run the service until cancelled (the ``python -m repro serve`` body)."""
-    app = ServeApp(cache_dir, max_workers=max_workers)
+    app = ServeApp(
+        cache_dir,
+        max_workers=max_workers,
+        execution=execution,
+        max_run_seconds=max_run_seconds,
+        cache_max_entries=cache_max_entries,
+        cache_max_bytes=cache_max_bytes,
+        shutdown_grace=shutdown_grace,
+    )
     server = await app.start(host, port)
     try:
         bound = server.sockets[0].getsockname()

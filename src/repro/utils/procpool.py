@@ -19,8 +19,10 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing
+import multiprocessing.managers
 import os
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import List, Optional, Tuple
 
@@ -29,11 +31,14 @@ import numpy as np
 __all__ = [
     "chunk_bounds",
     "default_process_workers",
+    "shared_manager",
     "shared_process_pool",
     "shutdown_shared_pool",
+    "warm_shared_pool",
 ]
 
 _POOL: Optional[ProcessPoolExecutor] = None
+_MANAGER: Optional["multiprocessing.managers.SyncManager"] = None
 _POOL_LOCK = threading.Lock()
 
 
@@ -58,13 +63,49 @@ def shared_process_pool() -> ProcessPoolExecutor:
         return _POOL
 
 
+def shared_manager() -> "multiprocessing.managers.SyncManager":
+    """The process-wide :class:`multiprocessing.Manager`, created on first use.
+
+    Pool tasks cannot carry raw ``multiprocessing.Queue``/``Event`` objects
+    (they only cross process boundaries by inheritance), so cross-process
+    control channels — the serve tier's per-run event streams and cancel
+    flags — go through proxies served by this single manager process.
+    """
+    global _MANAGER
+    with _POOL_LOCK:
+        if _MANAGER is None:
+            _MANAGER = multiprocessing.Manager()
+        return _MANAGER
+
+
+def warm_shared_pool(tasks: Optional[int] = None) -> int:
+    """Spin up the shared pool's worker processes ahead of time.
+
+    Workers fork lazily on submit; a server that first submits from a
+    request thread would fork with arbitrary other threads running.  Calling
+    this during single-threaded startup makes every later submit hit an
+    already-forked worker.  Returns the number of distinct worker PIDs seen.
+    """
+    pool = shared_process_pool()
+    count = default_process_workers() if tasks is None else max(1, int(tasks))
+    # time.sleep keeps each warmup task busy long enough that the executor's
+    # on-demand spawner starts a fresh worker for the next one.
+    futures = [pool.submit(time.sleep, 0.02) for _ in range(count)]
+    for future in futures:
+        future.result()
+    return len(pool._processes or {})
+
+
 def shutdown_shared_pool() -> None:
-    """Tear down the shared pool (tests / interpreter exit)."""
-    global _POOL
+    """Tear down the shared pool and manager (tests / interpreter exit)."""
+    global _POOL, _MANAGER
     with _POOL_LOCK:
         pool, _POOL = _POOL, None
+        manager, _MANAGER = _MANAGER, None
     if pool is not None:
         pool.shutdown(wait=True, cancel_futures=True)
+    if manager is not None:
+        manager.shutdown()
 
 
 atexit.register(shutdown_shared_pool)

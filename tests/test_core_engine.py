@@ -616,6 +616,27 @@ class TestPipelinedEngine:
         assert calls and calls[0] == 0
         assert completed == []
 
+    def test_raising_on_complete_cancels_run_without_deadlock(self, tiny_scenario):
+        """A raising ``on_complete`` poisons the run like a failing stage:
+        the scheduler drains (no deadlocked stage threads) and the callback's
+        exception re-raises; later iterations are never reported complete."""
+
+        class Cancel(Exception):
+            pass
+
+        completed = []
+
+        def cancel_after_first(index, context):
+            completed.append(index)
+            raise Cancel(f"stop at {index}")
+
+        engine = self._engine(tiny_scenario)
+        with pytest.raises(Cancel, match="stop at 0"):
+            engine.run_iterations(
+                self._inputs(tiny_scenario), on_complete=cancel_after_first
+            )
+        assert completed == [0]
+
     def test_private_communicators_per_stage(self, tiny_scenario):
         """Overlapped stages must not share virtual network clocks."""
         engine = self._engine(tiny_scenario)

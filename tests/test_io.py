@@ -88,6 +88,47 @@ class TestDatasetStore:
         np.testing.assert_allclose(loaded.get_field("dbz"), 2.0)
         assert loaded.iteration == 2
 
+    def test_nbytes_sums_on_disk_files(self, tmp_path):
+        store = DatasetStore(tmp_path / "ds")
+        store.create(RectilinearGrid.uniform((6, 6, 4)))
+        store.append(self._domain(0, 1.0))
+        expected = sum(
+            p.stat().st_size for p in (tmp_path / "ds").rglob("*") if p.is_file()
+        )
+        assert store.nbytes() == expected > 0
+        store.append(self._domain(1, 2.0))
+        assert store.nbytes() > expected  # grows with the data
+
+    def test_nbytes_of_missing_store_is_zero(self, tmp_path):
+        assert DatasetStore(tmp_path / "absent").nbytes() == 0
+
+    def test_delete_removes_store_and_is_idempotent(self, tmp_path):
+        store = DatasetStore(tmp_path / "ds")
+        store.create(RectilinearGrid.uniform((6, 6, 4)))
+        store.append(self._domain(0, 1.0))
+        assert store.exists()
+        store.delete()
+        assert not (tmp_path / "ds").exists()
+        assert not store.exists()
+        store.delete()  # deleting a deleted store must not raise
+        # The root is free for a fresh store of a different shape.
+        fresh = DatasetStore(tmp_path / "ds")
+        fresh.create(RectilinearGrid.uniform((5, 5, 4)))
+        assert fresh.exists()
+
+    def test_delete_leaves_open_mmap_readable(self, tmp_path):
+        """POSIX semantics the bounded replay cache relies on: deleting a
+        store under a reader only unlinks names; the open mapping stays
+        valid until the reader drops it."""
+        store = DatasetStore(tmp_path / "ds")
+        store.create(RectilinearGrid.uniform((6, 6, 4)), layout="raw")
+        store.append(self._domain(0, 3.0))
+        loaded = store.load_iteration(0, mmap=True)
+        field = loaded.get_field("dbz")
+        store.delete()
+        assert not (tmp_path / "ds").exists()
+        np.testing.assert_allclose(np.asarray(field), 3.0)
+
     def test_create_twice_rejected(self, tmp_path):
         store = DatasetStore(tmp_path / "ds")
         store.create(RectilinearGrid.uniform((6, 6, 4)))

@@ -23,6 +23,7 @@ from repro.grid.shm import (
     SharedBlockBatch,
     ShmBatchHandle,
     live_owned_segments,
+    purge_owned_segments,
 )
 from repro.metrics.base import MetricCost, ScoreMetric
 from repro.scenarios import get_scenario
@@ -192,6 +193,26 @@ class TestLeakAccounting:
         with pytest.raises(RuntimeError, match="metric exploded"):
             step.run(scenario.blocks_for(0))
         assert live_owned_segments() == before
+
+    def test_purge_owned_segments_disposes_everything(self):
+        """The last-resort sweep (cancelled serve runs): every segment this
+        process still owns is disposed and reported, and a second purge is a
+        no-op."""
+        a = SharedBlockBatch.create(_payload(5))
+        b = SharedBlockBatch.create(_payload(6))
+        handle = a.handle()
+        purged = purge_owned_segments()
+        assert a.name in purged and b.name in purged
+        assert live_owned_segments() == ()
+        assert purge_owned_segments() == ()
+        # The purged segments are really gone, not just unregistered.
+        with pytest.raises(SharedBatchError):
+            SharedBlockBatch.attach(handle)
+
+    def test_purge_tolerates_already_disposed_segments(self):
+        shared = SharedBlockBatch.create(_payload(8))
+        shared.dispose()
+        assert purge_owned_segments() == ()
 
     def test_process_backend_iteration_leaks_no_segments(self):
         """A full process-backend pipeline iteration cleans up every segment."""

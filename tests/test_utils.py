@@ -187,3 +187,33 @@ class TestValidation:
         assert ensure_in_range(0.5, (0, 1)) == 0.5
         with pytest.raises(ValueError):
             ensure_in_range(1.5, (0, 1))
+
+
+class TestSharedProcpool:
+    def test_shared_manager_is_singleton_and_usable(self):
+        from repro.utils.procpool import shared_manager
+
+        manager = shared_manager()
+        assert shared_manager() is manager
+        # The proxies the serve tier relies on: a queue and an event that
+        # survive a pickle round-trip into pool tasks.
+        queue = manager.Queue()
+        queue.put({"type": "iteration", "i": 0})
+        assert queue.get(timeout=10) == {"type": "iteration", "i": 0}
+        event = manager.Event()
+        assert not event.is_set()
+        event.set()
+        assert event.is_set()
+
+    def test_warm_shared_pool_forks_workers_up_front(self):
+        from repro.utils.procpool import (
+            default_process_workers,
+            shared_process_pool,
+            warm_shared_pool,
+        )
+
+        started = warm_shared_pool()
+        assert 1 <= started <= default_process_workers()
+        # The pool is live and every later submit hits a forked worker.
+        assert shared_process_pool().submit(int, "7").result(timeout=30) == 7
+        assert warm_shared_pool(tasks=1) >= 1
