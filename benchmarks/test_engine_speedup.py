@@ -168,6 +168,80 @@ def test_vectorized_rendering_speedup(fine_scenario_64):
     )
 
 
+def test_reduction_ladder_quality_vs_cost(fine_scenario_64):
+    """The mipmap ladder's middle rung earns its payload bytes: level-1
+    strided reduction must reconstruct with strictly lower TRILIN error than
+    corner reduction while shipping at most 1/4 of the full-block payload.
+
+    The tracked quantity is the level-1/corner error ratio (lower is
+    better), recorded through ``record_bench`` so ``compare_trend.py`` flags
+    a ladder-quality regression across runs exactly like a wall-clock one.
+    """
+    import numpy as np
+
+    from repro.grid.block import level_shape
+    from repro.grid.reduction import reduction_error_batch
+
+    blocks = fine_scenario_64.all_blocks(0)
+    by_shape = {}
+    for b in blocks:
+        by_shape.setdefault(tuple(b.data.shape), []).append(
+            np.asarray(b.data, dtype=np.float64)
+        )
+    level1_sum = corner_sum = 0.0
+    level1_points = full_points = 0
+    worst_fraction = 0.0  # largest single-block level-1 payload fraction
+    for shape, group in by_shape.items():
+        stacked = np.stack(group)
+        level1_sum += float(reduction_error_batch(stacked, level=1).sum())
+        corner_sum += float(reduction_error_batch(stacked, level=2).sum())
+        level1_points += len(group) * int(np.prod(level_shape(1, shape)))
+        full_points += len(group) * int(np.prod(shape))
+        worst_fraction = max(
+            worst_fraction, float(np.prod(level_shape(1, shape)) / np.prod(shape))
+        )
+    level1_mean = level1_sum / len(blocks)
+    corner_mean = corner_sum / len(blocks)
+    error_ratio = level1_mean / corner_mean
+    # Cost is what the pipeline ships: total level-1 payload bytes over
+    # total full-block bytes (tiny remainder blocks can individually sit a
+    # shade above 1/4 — e.g. 6x6x5 -> 4*4*3/180 = 0.267 — without moving
+    # the shipped volume).
+    payload_fraction = level1_points / full_points
+
+    full_shape = blocks[0].extent.shape
+
+    passed = level1_mean < corner_mean and payload_fraction <= 0.25
+    record_bench(
+        gate="reduction_ladder_quality",
+        scenario="blue_waters_64_fine",
+        backend="level1",
+        seconds=error_ratio,
+        baseline_backend="corners",
+        baseline_seconds=1.0,
+        passed=passed,
+        payload_fraction=payload_fraction,
+        worst_block_payload_fraction=worst_fraction,
+        level1_mean_error=level1_mean,
+        corner_mean_error=corner_mean,
+        nblocks=len(blocks),
+    )
+    print(
+        f"\nreduction ladder quality ({len(blocks)} blocks, "
+        f"block shape {full_shape}): level-1 error {level1_mean:.4g}, "
+        f"corner error {corner_mean:.4g} (ratio {error_ratio:.3f}), "
+        f"level-1 payload fraction {payload_fraction:.3f}"
+    )
+    assert level1_mean < corner_mean, (
+        f"level-1 reduction must beat corners on TRILIN error "
+        f"(level-1 {level1_mean:.4g} >= corners {corner_mean:.4g})"
+    )
+    assert payload_fraction <= 0.25, (
+        f"level-1 payload fraction {payload_fraction:.3f} exceeds the 1/4 "
+        f"full-block budget for block shape {full_shape}"
+    )
+
+
 def test_fig11_full_pipeline_speedup(fine_scenario_64):
     """The whole fig11 iteration — all five Figure-2 steps — runs ≥3x faster
     on the vectorized backend than on the serial reference.

@@ -203,7 +203,9 @@ register_step_backend(
 )
 register_step_backend("sorting", "serial", lambda ctx: SortingStep(ctx.comm))
 register_step_backend(
-    "reduction", "serial", lambda ctx: ReductionStep(ctx.platform)
+    "reduction",
+    "serial",
+    lambda ctx: ReductionStep(ctx.platform, quality_ladder=ctx.config.quality_ladder),
 )
 register_step_backend(
     "redistribution",
@@ -229,7 +231,11 @@ register_step_backend(
     "sorting", "vectorized", lambda ctx: VectorizedSortingStep(ctx.comm)
 )
 register_step_backend(
-    "reduction", "vectorized", lambda ctx: VectorizedReductionStep(ctx.platform)
+    "reduction",
+    "vectorized",
+    lambda ctx: VectorizedReductionStep(
+        ctx.platform, quality_ladder=ctx.config.quality_ladder
+    ),
 )
 register_step_backend(
     "redistribution",
@@ -258,7 +264,11 @@ register_step_backend(
     "sorting", "parallel", lambda ctx: VectorizedSortingStep(ctx.comm)
 )
 register_step_backend(
-    "reduction", "parallel", lambda ctx: ParallelReductionStep(ctx.platform)
+    "reduction",
+    "parallel",
+    lambda ctx: ParallelReductionStep(
+        ctx.platform, quality_ladder=ctx.config.quality_ladder
+    ),
 )
 # The exchange planner is already one searchsorted/bincount pass shared by
 # every backend; the exchange itself is a collective.
@@ -300,7 +310,11 @@ register_step_backend(
     "sorting", "process", lambda ctx: VectorizedSortingStep(ctx.comm)
 )
 register_step_backend(
-    "reduction", "process", lambda ctx: VectorizedReductionStep(ctx.platform)
+    "reduction",
+    "process",
+    lambda ctx: VectorizedReductionStep(
+        ctx.platform, quality_ladder=ctx.config.quality_ladder
+    ),
 )
 register_step_backend(
     "redistribution",

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from repro.core.backends import engine_backends
+from repro.core.reduction_step import validate_quality_ladder
 from repro.utils.validation import ensure_in_range, ensure_positive
 
 
@@ -94,6 +95,18 @@ class PipelineConfig:
         strictly sequential iterations (the controller consumes iteration
         ``t``'s result before picking ``t + 1``'s percentage), so results
         are identical either way.
+    quality_ladder:
+        How the reduction step distributes the selected (lowest-scored)
+        blocks over the reduction ladder, as ordered ``(level, fraction)``
+        rungs applied to the ascending-score prefix: the first rung's
+        fraction of the selected blocks — the very lowest scores — goes to
+        that rung's level, the next fraction to the next rung, and so on
+        (fractions must sum to 1; per-rung counts are rounded half-up, the
+        last rung absorbing the remainder).  Levels are rungs of the ladder
+        in :mod:`repro.grid.reduction`: 1 = strided 1/8-ish downsample with
+        corners preserved, 2 = the paper's 2×2×2 corner reduction.  The
+        default ``((2, 1.0),)`` sends every selected block to the corner
+        rung — bit-for-bit the pre-ladder binary behavior.
     engine:
         Execution backend of the step sequence, resolved through the backend
         registry (:mod:`repro.core.backends`), which third-party backends can
@@ -128,8 +141,12 @@ class PipelineConfig:
     use_modelled_time: bool = True
     pipelined: bool = False
     engine: str = "vectorized"
+    quality_ladder: Tuple[Tuple[int, float], ...] = ((2, 1.0),)
 
     def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "quality_ladder", validate_quality_ladder(self.quality_ladder)
+        )
         if self.redistribution not in ("none", "shuffle", "round_robin"):
             raise ValueError(
                 f"redistribution must be 'none', 'shuffle' or 'round_robin', "

@@ -1,8 +1,12 @@
-"""Step 3: reducing the lowest-scored blocks to their corners.
+"""Step 3: reducing the lowest-scored blocks down the quality ladder.
 
 Given the globally sorted ``<id, score>`` list (identical on every rank) and
-the percentage ``p``, the ``p``% blocks with the lowest scores are reduced to
-2×2×2 corner blocks.  Every rank takes the same decision locally, then reduces
+the percentage ``p``, the ``p``% blocks with the lowest scores are reduced —
+by default all the way to 2×2×2 corner blocks, or, when the pipeline's
+``quality_ladder`` has several rungs, spread over the reduction ladder by
+score quantile (:func:`select_reduction_levels`): the very lowest scores get
+the most aggressive level, better-scored selected blocks keep a level-1
+strided downsample.  Every rank takes the same decision locally, then reduces
 only the blocks it owns.
 
 Like scoring and rendering, the step comes in three implementations of one
@@ -36,7 +40,7 @@ import numpy as np
 from repro.core.step import IterationContext, StepReport
 from repro.grid.batch import group_positions_by_shape
 from repro.grid.block import Block
-from repro.grid.reduction import reduce_block, reduce_to_corners_batch
+from repro.grid.reduction import reduce_block, reduce_to_level_batch
 from repro.perfmodel.platform import PlatformModel
 from repro.utils.pool import LazyThreadPool
 from repro.utils.timer import Timer
@@ -48,6 +52,82 @@ ScorePair = Tuple[int, float]
 #: derive the coefficient from ``PlatformModel.seconds_per_reduced_block``
 #: (same default), exactly like scoring and rendering derive their costs.
 SECONDS_PER_REDUCED_BLOCK = 2.0e-6
+
+#: The default quality ladder: every selected block goes to the corner rung,
+#: which is bit-for-bit the pre-ladder binary behavior.
+DEFAULT_QUALITY_LADDER: Tuple[Tuple[int, float], ...] = ((2, 1.0),)
+
+QualityLadder = Tuple[Tuple[int, float], ...]
+
+
+def validate_quality_ladder(ladder: Sequence[Sequence[float]]) -> QualityLadder:
+    """Normalise and validate a quality ladder; returns the canonical tuple.
+
+    A ladder is an ordered sequence of ``(level, fraction)`` rungs: levels
+    must be 1 or 2 (level 0 would mean "select a block and leave it full"),
+    appear at most once, fractions must be positive and sum to 1.
+    """
+    rungs = []
+    seen = set()
+    for rung in ladder:
+        if len(rung) != 2:
+            raise ValueError(
+                f"each quality_ladder rung must be (level, fraction), got {rung!r}"
+            )
+        level, fraction = int(rung[0]), float(rung[1])
+        if level not in (1, 2):
+            raise ValueError(
+                f"quality_ladder levels must be 1 or 2, got {rung[0]!r}"
+            )
+        if level in seen:
+            raise ValueError(f"quality_ladder repeats level {level}")
+        if not (0.0 < fraction <= 1.0):
+            raise ValueError(
+                f"quality_ladder fractions must be in (0, 1], got {rung[1]!r}"
+            )
+        seen.add(level)
+        rungs.append((level, fraction))
+    if not rungs:
+        raise ValueError("quality_ladder must have at least one rung")
+    total = sum(fraction for _, fraction in rungs)
+    if abs(total - 1.0) > 1e-9:
+        raise ValueError(
+            f"quality_ladder fractions must sum to 1, got {total}"
+        )
+    return tuple(rungs)
+
+
+def select_reduction_levels(
+    sorted_pairs: Sequence[ScorePair],
+    percent: float,
+    ladder: QualityLadder = DEFAULT_QUALITY_LADDER,
+) -> Dict[int, int]:
+    """Map each selected block id to its target reduction-ladder level.
+
+    The selected set is exactly :func:`select_blocks_to_reduce`'s — the
+    ``percent``% lowest-scored blocks, counted with the same half-up
+    rounding.  Within that ascending-score prefix the ladder's rungs are
+    applied in order: the first rung's fraction of the selection (rounded
+    half-up) gets that rung's level, and so on, the last rung absorbing the
+    rounding remainder.  Every rank computes this from the globally sorted
+    list, so the decision is identical everywhere without communication.
+    """
+    if not (0.0 <= percent <= 100.0):
+        raise ValueError(f"percent must be in [0, 100], got {percent}")
+    ladder = validate_quality_ladder(ladder)
+    nblocks = len(sorted_pairs)
+    count = min(int(math.floor(nblocks * percent / 100.0 + 0.5)), nblocks)
+    levels: Dict[int, int] = {}
+    offset = 0
+    for rung_index, (level, fraction) in enumerate(ladder):
+        if rung_index == len(ladder) - 1:
+            take = count - offset
+        else:
+            take = min(int(math.floor(count * fraction + 0.5)), count - offset)
+        for block_id, _ in sorted_pairs[offset : offset + take]:
+            levels[block_id] = level
+        offset += take
+    return levels
 
 
 def select_blocks_to_reduce(sorted_pairs: Sequence[ScorePair], percent: float) -> Set[int]:
@@ -79,14 +159,30 @@ class ReductionStep:
 
     name = "reduction"
 
-    def __init__(self, platform: Optional[PlatformModel] = None) -> None:
+    def __init__(
+        self,
+        platform: Optional[PlatformModel] = None,
+        quality_ladder: QualityLadder = DEFAULT_QUALITY_LADDER,
+    ) -> None:
         self.platform = platform
+        self.quality_ladder = validate_quality_ladder(quality_ladder)
 
-    def _reduction_seconds(self, nreduced: int) -> float:
-        """Modelled seconds for one rank to reduce ``nreduced`` blocks."""
+    def _reduction_seconds(
+        self, nreduced: int, points_copied: Optional[int] = None
+    ) -> float:
+        """Modelled seconds for one rank to reduce ``nreduced`` blocks.
+
+        ``points_copied`` is the total payload points of the rank's reduced
+        blocks; when given, the cost scales with it (in corner-block units of
+        8 points), which prices a level-1 downsample by its real copy volume.
+        When every selected block goes to the corner rung the two forms are
+        bitwise identical.
+        """
         if self.platform is not None:
-            return self.platform.reduction_seconds(nreduced)
-        return nreduced * SECONDS_PER_REDUCED_BLOCK
+            return self.platform.reduction_seconds(nreduced, points_copied)
+        if points_copied is None:
+            return nreduced * SECONDS_PER_REDUCED_BLOCK
+        return SECONDS_PER_REDUCED_BLOCK * (points_copied / 8.0)
 
     def run(
         self,
@@ -100,31 +196,42 @@ class ReductionStep:
         -------
         (per_rank_blocks, reduced_ids, info)
             Blocks with the selected ones replaced by their reduced copies,
-            the set of reduced block ids, and measured/modelled timing info.
+            the set of reduced block ids, and measured/modelled timing info
+            (including the per-block ladder decision under
+            ``info["reduction_levels"]``).
         """
-        reduced_ids = select_blocks_to_reduce(sorted_pairs, percent)
+        levels = select_reduction_levels(sorted_pairs, percent, self.quality_ladder)
+        reduced_ids = set(levels)
         out: List[List[Block]] = []
         measured: List[float] = []
         modelled: List[float] = []
+        points_total = 0
         for blocks in per_rank_blocks:
             reduced_count = 0
+            points_copied = 0
             with Timer() as timer:
                 new_blocks = []
                 for block in blocks:
-                    if block.block_id in reduced_ids:
-                        new_blocks.append(reduce_block(block))
+                    target = levels.get(block.block_id)
+                    if target is not None:
+                        new_block = reduce_block(block, target)
+                        new_blocks.append(new_block)
                         reduced_count += 1
+                        points_copied += int(new_block.data.size)
                     else:
                         new_blocks.append(block)
             out.append(new_blocks)
             measured.append(timer.elapsed)
-            modelled.append(self._reduction_seconds(reduced_count))
+            modelled.append(self._reduction_seconds(reduced_count, points_copied))
+            points_total += points_copied
         info = {
             "measured_per_rank": measured,
             "modelled_per_rank": modelled,
             "measured_max": max(measured) if measured else 0.0,
             "modelled_max": max(modelled) if modelled else 0.0,
             "nreduced": len(reduced_ids),
+            "points_copied": points_total,
+            "reduction_levels": levels,
         }
         return out, reduced_ids, info
 
@@ -135,11 +242,15 @@ class ReductionStep:
         )
         context.per_rank_blocks = out
         context.reduced_ids = reduced_ids
+        context.reduction_levels = dict(info["reduction_levels"])
         return StepReport(
             step=self.name,
             measured_per_rank=list(info["measured_per_rank"]),
             modelled_per_rank=list(info["modelled_per_rank"]),
-            counters={"nreduced": float(info["nreduced"])},
+            counters={
+                "nreduced": float(info["nreduced"]),
+                "points_copied": float(info["points_copied"]),
+            },
         )
 
 
@@ -164,7 +275,7 @@ class VectorizedReductionStep(ReductionStep):
     name = "reduction"
 
     def _selected_positions(
-        self, blocks: Sequence[Block], reduced_ids: Set[int]
+        self, blocks: Sequence[Block], reduced_ids: "Set[int] | Dict[int, int]"
     ) -> List[int]:
         """Positions of the blocks the decision set selects (one scan)."""
         return [
@@ -172,24 +283,33 @@ class VectorizedReductionStep(ReductionStep):
         ]
 
     def _apply_selected(
-        self, blocks: Sequence[Block], selected: Sequence[int]
+        self,
+        blocks: Sequence[Block],
+        selected: Sequence[int],
+        levels: Dict[int, int],
     ) -> List[Block]:
-        """Reduced copies of ``blocks[selected]``, batched by shape.
+        """Reduced copies of ``blocks[selected]``, batched by target and shape.
 
-        Already-reduced blocks among the selection are left as-is (the same
-        no-op :func:`~repro.grid.reduction.reduce_block` performs); the rest
-        are grouped by payload shape/dtype and corner-gathered per group.
+        Blocks already at (or beyond) their target level are left as-is (the
+        same no-op :func:`~repro.grid.reduction.reduce_block` performs); the
+        rest are bucketed by target ladder level, grouped by payload
+        shape/dtype within each bucket, and gathered with one
+        :func:`~repro.grid.reduction.reduce_to_level_batch` pass per group.
         """
         out = list(blocks)
-        targets = [i for i in selected if not blocks[i].reduced]
-        if not targets:
-            return out
-        for positions in group_positions_by_shape([blocks[i] for i in targets]):
-            indices = [targets[p] for p in positions]
-            stacked = np.stack([blocks[i].data for i in indices])
-            corners = reduce_to_corners_batch(stacked)
-            for row, i in enumerate(indices):
-                out[i] = blocks[i].with_corner_payload(corners[row])
+        by_level: Dict[int, List[int]] = {}
+        for i in selected:
+            target = levels[blocks[i].block_id]
+            if blocks[i].level < target:
+                by_level.setdefault(target, []).append(i)
+        for target in sorted(by_level):
+            targets = by_level[target]
+            for positions in group_positions_by_shape([blocks[i] for i in targets]):
+                indices = [targets[p] for p in positions]
+                stacked = np.stack([blocks[i].data for i in indices])
+                payloads = reduce_to_level_batch(stacked, target)
+                for row, i in enumerate(indices):
+                    out[i] = blocks[i].with_level_payload(payloads[row], target)
         return out
 
     def run(
@@ -199,7 +319,8 @@ class VectorizedReductionStep(ReductionStep):
         percent: float,
     ) -> Tuple[List[List[Block]], Set[int], Dict[str, object]]:
         """Reduce every rank's selected blocks in one cross-rank pass."""
-        reduced_ids = select_blocks_to_reduce(sorted_pairs, percent)
+        levels = select_reduction_levels(sorted_pairs, percent, self.quality_ladder)
+        reduced_ids = set(levels)
         with Timer() as timer:
             all_blocks: List[Block] = []
             rank_slices: List[Tuple[int, int]] = []
@@ -208,30 +329,37 @@ class VectorizedReductionStep(ReductionStep):
                 offset = len(all_blocks)
                 rank_slices.append((offset, offset + len(blocks)))
                 rank_selected.append(
-                    [offset + i for i in self._selected_positions(blocks, reduced_ids)]
+                    [offset + i for i in self._selected_positions(blocks, levels)]
                 )
                 all_blocks.extend(blocks)
             selected = [i for positions in rank_selected for i in positions]
-            new_all = self._apply_selected(all_blocks, selected)
+            new_all = self._apply_selected(all_blocks, selected, levels)
         elapsed = timer.elapsed
 
         out: List[List[Block]] = []
         measured: List[float] = []
         modelled: List[float] = []
+        points_total = 0
         rank_counts = [len(positions) for positions in rank_selected]
         total_count = sum(rank_counts)
-        for (lo, hi), reduced_count in zip(rank_slices, rank_counts):
+        for (lo, hi), positions, reduced_count in zip(
+            rank_slices, rank_selected, rank_counts
+        ):
             out.append(new_all[lo:hi])
+            points_copied = sum(int(new_all[i].data.size) for i in positions)
             measured.append(
                 elapsed * (reduced_count / total_count) if total_count else 0.0
             )
-            modelled.append(self._reduction_seconds(reduced_count))
+            modelled.append(self._reduction_seconds(reduced_count, points_copied))
+            points_total += points_copied
         info = {
             "measured_per_rank": measured,
             "modelled_per_rank": modelled,
             "measured_max": max(measured) if measured else 0.0,
             "modelled_max": max(modelled) if modelled else 0.0,
             "nreduced": len(reduced_ids),
+            "points_copied": points_total,
+            "reduction_levels": levels,
         }
         return out, reduced_ids, info
 
@@ -253,8 +381,9 @@ class ParallelReductionStep(VectorizedReductionStep):
         self,
         platform: Optional[PlatformModel] = None,
         max_workers: Optional[int] = None,
+        quality_ladder: QualityLadder = DEFAULT_QUALITY_LADDER,
     ) -> None:
-        super().__init__(platform)
+        super().__init__(platform, quality_ladder=quality_ladder)
         self._workers = LazyThreadPool(
             max_workers, thread_name_prefix="reduction-worker"
         )
@@ -273,30 +402,38 @@ class ParallelReductionStep(VectorizedReductionStep):
         percent: float,
     ) -> Tuple[List[List[Block]], Set[int], Dict[str, object]]:
         """Reduce every rank's selected blocks, one pool task per rank."""
-        reduced_ids = select_blocks_to_reduce(sorted_pairs, percent)
+        levels = select_reduction_levels(sorted_pairs, percent, self.quality_ladder)
+        reduced_ids = set(levels)
 
         def reduce_rank(
             blocks: Sequence[Block],
-        ) -> Tuple[List[Block], int, float]:
+        ) -> Tuple[List[Block], int, int, float]:
             with Timer() as timer:
-                selected = self._selected_positions(blocks, reduced_ids)
-                new_blocks = self._apply_selected(blocks, selected)
-            return new_blocks, len(selected), timer.elapsed
+                selected = self._selected_positions(blocks, levels)
+                new_blocks = self._apply_selected(blocks, selected, levels)
+                points_copied = sum(
+                    int(new_blocks[i].data.size) for i in selected
+                )
+            return new_blocks, len(selected), points_copied, timer.elapsed
 
         out: List[List[Block]] = []
         measured: List[float] = []
         modelled: List[float] = []
-        for new_blocks, reduced_count, elapsed in self.pool.map(
+        points_total = 0
+        for new_blocks, reduced_count, points_copied, elapsed in self.pool.map(
             reduce_rank, per_rank_blocks
         ):
             out.append(new_blocks)
             measured.append(elapsed)
-            modelled.append(self._reduction_seconds(reduced_count))
+            modelled.append(self._reduction_seconds(reduced_count, points_copied))
+            points_total += points_copied
         info = {
             "measured_per_rank": measured,
             "modelled_per_rank": modelled,
             "measured_max": max(measured) if measured else 0.0,
             "modelled_max": max(modelled) if modelled else 0.0,
             "nreduced": len(reduced_ids),
+            "points_copied": points_total,
+            "reduction_levels": levels,
         }
         return out, reduced_ids, info

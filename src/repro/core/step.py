@@ -113,6 +113,9 @@ class IterationContext:
     per_rank_pairs: Optional[List[List[ScorePair]]] = None
     sorted_pairs: Optional[List[ScorePair]] = None
     reduced_ids: Optional[Set[int]] = None
+    #: Target ladder level per reduced block id (the reduction step's quality
+    #: ladder decision; ``set(reduction_levels) == reduced_ids``).
+    reduction_levels: Optional[Dict[int, int]] = None
     render_results: Optional[List["RenderResult"]] = None
     reports: Dict[str, StepReport] = field(default_factory=dict)
 

@@ -262,6 +262,7 @@ class ExperimentScenario:
         render_mode: str = "count",
         engine: Optional[str] = None,
         pipelined: bool = False,
+        quality_ladder: Optional[tuple] = None,
     ) -> InSituPipeline:
         """Build a pipeline wired to this scenario's platform and rank count.
 
@@ -270,6 +271,8 @@ class ExperimentScenario:
         the default follows :class:`PipelineConfig` (vectorized).
         ``pipelined=True`` runs feedback-free multi-iteration calls on the
         overlapping :class:`~repro.core.engine.PipelinedEngine`.
+        ``quality_ladder`` forwards a reduction quality ladder (``(level,
+        fraction)`` rungs); ``None`` keeps the all-corners default.
         """
         config = PipelineConfig(
             metric=metric,
@@ -283,6 +286,7 @@ class ExperimentScenario:
             shuffle_seed=self.config.seed,
             pipelined=pipelined,
             **({} if engine is None else {"engine": engine}),
+            **({} if quality_ladder is None else {"quality_ladder": quality_ladder}),
         )
         return InSituPipeline(config, self.platform, nranks=self.nranks)
 

@@ -14,7 +14,13 @@ in bulk (lossless ``from_blocks``/``to_blocks`` round-tripping).
 """
 
 from repro.grid.rectilinear import RectilinearGrid
-from repro.grid.block import Block, BlockExtent
+from repro.grid.block import (
+    Block,
+    BlockExtent,
+    REDUCTION_LEVELS,
+    axis_sample_indices,
+    level_shape,
+)
 from repro.grid.batch import BlockBatch, group_positions_by_shape, partition_by_shape
 from repro.grid.shm import (
     SharedBatchError,
@@ -31,8 +37,12 @@ from repro.grid.decomposition import (
 from repro.grid.reduction import (
     reduce_to_corners,
     reduce_to_corners_batch,
+    reduce_to_level,
+    reduce_to_level_batch,
     reduction_error_batch,
     expand_from_corners,
+    expand_from_level,
+    expand_from_level_batch,
     reduce_block,
     trilinear_sample,
 )
@@ -41,6 +51,9 @@ __all__ = [
     "RectilinearGrid",
     "Block",
     "BlockExtent",
+    "REDUCTION_LEVELS",
+    "axis_sample_indices",
+    "level_shape",
     "BlockBatch",
     "group_positions_by_shape",
     "partition_by_shape",
@@ -55,8 +68,12 @@ __all__ = [
     "split_axis",
     "reduce_to_corners",
     "reduce_to_corners_batch",
+    "reduce_to_level",
+    "reduce_to_level_batch",
     "reduction_error_batch",
     "expand_from_corners",
+    "expand_from_level",
+    "expand_from_level_batch",
     "reduce_block",
     "trilinear_sample",
 ]

@@ -10,7 +10,8 @@ once over the whole batch instead of once per block.
 
 The conversion is lossless: ``BlockBatch.from_blocks(blocks).to_blocks()``
 reproduces the input blocks exactly (ids, extents, owners, homes, reduced
-flags, scores, field names, payload values, and payload dtype).  Blocks of
+flags, ladder levels, scores, field names, payload values, and payload
+dtype).  Blocks of
 mixed shapes or dtypes cannot share one stacked array; use
 :func:`partition_by_shape` to split an arbitrary block list into homogeneous
 batches while remembering each block's original position.
@@ -33,6 +34,18 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.grid.block import Block, BlockExtent
+from repro.grid.reduction import (  # re-exported: the ladder's batched twins
+    expand_from_level_batch,
+    reduce_to_level_batch,
+)
+
+__all__ = [
+    "BlockBatch",
+    "expand_from_level_batch",
+    "group_positions_by_shape",
+    "partition_by_shape",
+    "reduce_to_level_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -50,7 +63,10 @@ class BlockBatch:
     owners, homes:
         ``(nblocks,)`` int64 current / original owner ranks.
     reduced:
-        ``(nblocks,)`` bool flags (payload reduced to corner values).
+        ``(nblocks,)`` bool flags (payload reduced, i.e. ``levels > 0``).
+    levels:
+        ``(nblocks,)`` int64 reduction-ladder rungs (0 full, 1 strided
+        downsample, 2 corners).
     scores:
         ``(nblocks,)`` float64 scores; entries are only meaningful where
         ``score_mask`` is True (a block without a score keeps mask False, so
@@ -68,6 +84,7 @@ class BlockBatch:
     owners: np.ndarray
     homes: np.ndarray
     reduced: np.ndarray
+    levels: np.ndarray
     scores: np.ndarray
     score_mask: np.ndarray
     field_names: Tuple[str, ...]
@@ -83,6 +100,7 @@ class BlockBatch:
             ("owners", None),
             ("homes", None),
             ("reduced", None),
+            ("levels", None),
             ("scores", None),
             ("score_mask", None),
             ("starts", 3),
@@ -114,7 +132,7 @@ class BlockBatch:
                     f"all blocks must share one payload shape; got {shape} and "
                     f"{tuple(b.data.shape)} (use partition_by_shape for mixed lists)"
                 )
-        ids, starts, stops, owners, homes, reduced, raw_scores, field_names = zip(
+        ids, starts, stops, owners, homes, reduced, levels, raw_scores, field_names = zip(
             *(
                 (
                     b.block_id,
@@ -123,6 +141,7 @@ class BlockBatch:
                     b.owner,
                     b.home,
                     b.reduced,
+                    b.level,
                     b.score,
                     b.field_name,
                 )
@@ -141,6 +160,7 @@ class BlockBatch:
             owners=np.array(owners, dtype=np.int64),
             homes=np.array(homes, dtype=np.int64),
             reduced=np.array(reduced, dtype=bool),
+            levels=np.array(levels, dtype=np.int64),
             scores=scores,
             score_mask=mask,
             field_names=tuple(field_names),
@@ -161,6 +181,7 @@ class BlockBatch:
                     owner=int(self.owners[i]),
                     home=int(self.homes[i]),
                     reduced=bool(self.reduced[i]),
+                    level=int(self.levels[i]),
                     score=float(self.scores[i]) if self.score_mask[i] else None,
                     field_name=self.field_names[i],
                 )

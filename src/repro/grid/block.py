@@ -2,9 +2,11 @@
 
 A :class:`Block` carries a regular subarray of the domain (its *extent* in
 global index space) plus the field payload for that extent.  After the
-reduction step a block's payload is replaced by its 8 corner values
-(2×2×2) but its extent is unchanged, so downstream consumers can still
-reconstruct an interpolated approximation over the original region.
+reduction step a block's payload is replaced by a coarser representation
+from the reduction ladder — level 1 keeps every second point plus the high
+edge, level 2 keeps only the 8 corner values (2×2×2) — but its extent is
+unchanged, so downstream consumers can still reconstruct an interpolated
+approximation over the original region.
 """
 
 from __future__ import annotations
@@ -13,6 +15,38 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 import numpy as np
+
+#: The reduction ladder: 0 = full resolution, 1 = strided downsample
+#: (every second point plus the high edge, corners preserved exactly),
+#: 2 = the paper's 2×2×2 corner reduction.
+REDUCTION_LEVELS: Tuple[int, ...] = (0, 1, 2)
+
+
+def axis_sample_indices(n: int) -> Tuple[int, ...]:
+    """Level-1 sample indices along an axis of length ``n``.
+
+    Every second point starting at 0, with the last point ``n - 1`` always
+    included so both corners survive exactly — that is what keeps a level-1
+    block continuous with its (full or reduced) neighbours, the same
+    guarantee the corner reduction gives.  ``n = 1`` yields ``(0,)``.
+    """
+    if n < 1:
+        raise ValueError(f"axis length must be >= 1, got {n}")
+    samples = list(range(0, n, 2))
+    if samples[-1] != n - 1:
+        samples.append(n - 1)
+    return tuple(samples)
+
+
+def level_shape(level: int, full_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+    """Payload shape of a block of ``full_shape`` at reduction ``level``."""
+    if level == 0:
+        return tuple(int(s) for s in full_shape)
+    if level == 1:
+        return tuple(len(axis_sample_indices(int(n))) for n in full_shape)
+    if level == 2:
+        return (2, 2, 2)
+    raise ValueError(f"level must be one of {REDUCTION_LEVELS}, got {level}")
 
 
 @dataclass(frozen=True)
@@ -86,11 +120,17 @@ class Block:
     home:
         Rank that originally produced the block (before redistribution).
     reduced:
-        Whether the payload has been reduced to corner values.
+        Whether the payload has been reduced (``level > 0``).
     score:
         Relevance score assigned by the scoring step, if any.
     field_name:
         Name of the field the payload belongs to (e.g. ``"dbz"``).
+    level:
+        Rung of the reduction ladder the payload sits on: 0 = full
+        resolution, 1 = strided downsample (:func:`axis_sample_indices`
+        per axis), 2 = 2×2×2 corners.  ``None`` (the default) derives the
+        level from ``reduced`` — 2 when reduced, 0 otherwise — so legacy
+        constructors keep their exact semantics.
     """
 
     block_id: int
@@ -101,21 +141,33 @@ class Block:
     reduced: bool = False
     score: Optional[float] = None
     field_name: str = "dbz"
+    level: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.block_id < 0:
             raise ValueError(f"block_id must be >= 0, got {self.block_id}")
+        if self.level is None:
+            level = 2 if self.reduced else 0
+        else:
+            level = int(self.level)
+            if level not in REDUCTION_LEVELS:
+                raise ValueError(
+                    f"level must be one of {REDUCTION_LEVELS}, got {self.level}"
+                )
+            if (level > 0) != bool(self.reduced):
+                raise ValueError(
+                    f"inconsistent block state: level={level} requires "
+                    f"reduced={level > 0}, got reduced={self.reduced}"
+                )
+        object.__setattr__(self, "level", level)
         data = np.asarray(self.data)
         if data.ndim != 3:
             raise ValueError(f"block data must be 3-D, got shape {data.shape}")
-        if not self.reduced and tuple(data.shape) != self.extent.shape:
+        expected = level_shape(level, self.extent.shape)
+        if tuple(data.shape) != expected:
             raise ValueError(
-                f"full block data shape {data.shape} does not match extent "
-                f"shape {self.extent.shape}"
-            )
-        if self.reduced and tuple(data.shape) != (2, 2, 2):
-            raise ValueError(
-                f"reduced block data must have shape (2, 2, 2), got {data.shape}"
+                f"level-{level} block data must have shape {expected} for "
+                f"extent shape {self.extent.shape}, got {data.shape}"
             )
         object.__setattr__(self, "data", data)
 
@@ -160,9 +212,20 @@ class Block:
         """Return a copy of the block with ``score`` attached."""
         return self._clone_with(score=float(score))
 
-    def with_data(self, data: np.ndarray, reduced: bool) -> "Block":
-        """Return a copy of the block carrying a new payload."""
-        return replace(self, data=np.asarray(data), reduced=bool(reduced))
+    def with_data(
+        self, data: np.ndarray, reduced: bool, level: Optional[int] = None
+    ) -> "Block":
+        """Return a copy of the block carrying a new payload.
+
+        Without an explicit ``level`` the ladder position is derived from
+        ``reduced`` (2 when reduced, 0 otherwise), matching the pre-ladder
+        semantics of this method.
+        """
+        if level is None:
+            level = 2 if reduced else 0
+        return replace(
+            self, data=np.asarray(data), reduced=bool(reduced), level=int(level)
+        )
 
     def with_corner_payload(self, corners: np.ndarray) -> "Block":
         """Return a reduced copy carrying 2×2×2 ``corners`` (fast path).
@@ -180,7 +243,25 @@ class Block:
             raise ValueError(
                 f"reduced block data must have shape (2, 2, 2), got {corners.shape}"
             )
-        return self._clone_with(data=corners, reduced=True)
+        return self._clone_with(data=corners, reduced=True, level=2)
+
+    def with_level_payload(self, data: np.ndarray, level: int) -> "Block":
+        """Return a copy carrying a ``level``-rung payload (fast path).
+
+        The ladder generalisation of :meth:`with_corner_payload`: the payload
+        shape is checked against :func:`level_shape` directly and the
+        dataclass ``replace``/re-validation machinery is skipped — rows of a
+        batched ``reduce_to_level`` pass are already valid by construction.
+        """
+        level = int(level)
+        data = np.asarray(data)
+        expected = level_shape(level, self.extent.shape)
+        if tuple(data.shape) != expected:
+            raise ValueError(
+                f"level-{level} block data must have shape {expected} for "
+                f"extent shape {self.extent.shape}, got {data.shape}"
+            )
+        return self._clone_with(data=data, reduced=level > 0, level=level)
 
     def value_range(self) -> Tuple[float, float]:
         """(min, max) of the payload values."""

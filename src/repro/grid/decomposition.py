@@ -9,7 +9,7 @@ the unit of scoring, reduction, and redistribution.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -96,7 +96,7 @@ class CartesianDecomposition:
     global_shape: Tuple[int, int, int]
     nranks: int
     blocks_per_subdomain: Tuple[int, int, int] = (2, 2, 1)
-    rank_dims_override: Tuple[int, int, int] = None
+    rank_dims_override: Optional[Tuple[int, int, int]] = None
 
     def __post_init__(self) -> None:
         gs = tuple(int(v) for v in self.global_shape)
@@ -110,7 +110,16 @@ class CartesianDecomposition:
         object.__setattr__(self, "global_shape", gs)
         object.__setattr__(self, "blocks_per_subdomain", bps)
         if self.rank_dims_override is not None:
-            dims = tuple(int(v) for v in self.rank_dims_override)
+            # Validate the tuple's arity before converting or multiplying, so
+            # a 2-tuple (or a bare int) fails with a clear message instead of
+            # a TypeError or a misleading product mismatch.
+            try:
+                dims = tuple(int(v) for v in self.rank_dims_override)
+            except TypeError:
+                raise ValueError(
+                    f"invalid rank_dims_override: {self.rank_dims_override!r} "
+                    f"(expected a 3-tuple of positive ints)"
+                ) from None
             if len(dims) != 3 or any(v < 1 for v in dims):
                 raise ValueError(f"invalid rank_dims_override: {self.rank_dims_override}")
             if dims[0] * dims[1] * dims[2] != self.nranks:

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.grid.block import Block, BlockExtent
+from repro.grid.block import Block, BlockExtent, axis_sample_indices
 from repro.grid.decomposition import CartesianDecomposition
 from repro.grid.rectilinear import RectilinearGrid
 
@@ -144,7 +144,8 @@ class Subdomain:
     def assemble(self, fill_value: float = 0.0) -> np.ndarray:
         """Reassemble the subdomain array from its (full) blocks.
 
-        Reduced blocks contribute only their corner values; the remaining
+        Reduced blocks contribute only their retained sample values (8
+        corners at level 2, every strided sample at level 1); the remaining
         interior points take ``fill_value``.  Mostly useful in tests.
         """
         out = np.full(self.shape, fill_value, dtype=np.float64)
@@ -156,6 +157,12 @@ class Subdomain:
             )
             if not blk.reduced:
                 out[sl] = blk.data
+            elif blk.level == 1:
+                axes = tuple(
+                    np.asarray(axis_sample_indices(n), dtype=np.intp) + (lo - o)
+                    for n, lo, o in zip(blk.extent.shape, blk.extent.start, off)
+                )
+                out[np.ix_(*axes)] = blk.data
             else:
                 for corner, (ci, cj, ck) in zip(
                     blk.data.reshape(-1), blk.extent.corner_indices()

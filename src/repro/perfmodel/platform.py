@@ -73,11 +73,26 @@ class PlatformModel:
 
     # -- reduction cost --------------------------------------------------------
 
-    def reduction_seconds(self, nreduced_per_rank: int) -> float:
-        """Modelled seconds for one rank to corner-reduce its selected blocks."""
+    def reduction_seconds(
+        self, nreduced_per_rank: int, points_copied: Optional[int] = None
+    ) -> float:
+        """Modelled seconds for one rank to reduce its selected blocks.
+
+        Without ``points_copied`` every reduced block is priced as one corner
+        gather (the pre-ladder behavior).  With it, cost scales with the
+        actual payload points retained, in corner-block units of 8 points —
+        a level-1 strided downsample copies more than a corner block and is
+        priced accordingly.  When every reduced block is a corner block the
+        two forms are bitwise identical
+        (``points_copied == 8 * nreduced_per_rank``).
+        """
         if nreduced_per_rank < 0:
             raise ValueError("work counts must be >= 0")
-        return self.seconds_per_reduced_block * nreduced_per_rank
+        if points_copied is None:
+            return self.seconds_per_reduced_block * nreduced_per_rank
+        if points_copied < 0:
+            raise ValueError("work counts must be >= 0")
+        return self.seconds_per_reduced_block * (points_copied / 8.0)
 
     # -- presets -----------------------------------------------------------------
 

@@ -78,9 +78,13 @@ def scaling_variants(
         minimum = _minimum_shape(ncores, base.blocks_per_subdomain)
         if key == "weak":
             factor = math.sqrt(ncores / base.ncores)
+            # Half-up rounding, not banker's round(): a rank ratio landing a
+            # scaled extent exactly on .5 must grow the grid, never shrink it
+            # towards an even value (round(22.5) == 22 would under-provision
+            # the variant relative to the weak-scaling contract).
             shape = (
-                round(base.shape[0] * factor),
-                round(base.shape[1] * factor),
+                math.floor(base.shape[0] * factor + 0.5),
+                math.floor(base.shape[1] * factor + 0.5),
                 base.shape[2],
             )
             # Rounding may undershoot the decomposition's floor by a point

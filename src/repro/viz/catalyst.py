@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.grid.batch import group_positions_by_shape
-from repro.grid.block import Block
+from repro.grid.block import Block, axis_sample_indices
 from repro.grid.reduction import reconstruct_block
 from repro.utils.timer import Timer
 from repro.viz.camera import Camera
@@ -130,18 +130,29 @@ class IsosurfaceScript(VisualizationScript):
     def block_coords(self, block: Block, data_shape: Sequence[int]) -> List[np.ndarray]:
         """Per-axis global coordinates of one block's payload points.
 
-        A reduced block is fed to the pipeline as its 8 corner points spanning
-        the original extent (this is what makes the reduction save rendering
-        time); a full block is fed as-is.  The reduced high corner sits on the
-        last point *inside* the half-open extent, ``stop - 1`` (>= ``start``
-        for every valid extent): a length-1 axis yields a flat coordinate
-        pair whose degenerate geometry the extractor drops, instead of
-        shifting the isosurface outside the block's extent.
+        A reduced block is fed to the pipeline as its retained sample points
+        spanning the original extent (this is what makes the reduction save
+        rendering time): the corner rung (level 2) contributes its 8 corners,
+        the strided rung (level 1) every retained sample
+        (:func:`~repro.grid.block.axis_sample_indices` per axis); a full
+        block is fed as-is.  The high sample of every reduced axis sits on
+        the last point *inside* the half-open extent, ``stop - 1`` (>=
+        ``start`` for every valid extent): a length-1 axis yields a flat
+        coordinate pair whose degenerate geometry the extractor drops,
+        instead of shifting the isosurface outside the block's extent.
         """
         start, stop = block.extent.start, block.extent.stop
-        if block.reduced:
+        if block.level == 2:
             return [
                 np.array([start[axis], stop[axis] - 1], dtype=np.float64)
+                for axis in range(3)
+            ]
+        if block.level == 1:
+            return [
+                start[axis]
+                + np.asarray(
+                    axis_sample_indices(block.extent.shape[axis]), dtype=np.float64
+                )
                 for axis in range(3)
             ]
         return [

@@ -15,10 +15,13 @@ from repro.core.redistribution import (
     make_strategy,
 )
 from repro.core.reduction_step import (
+    DEFAULT_QUALITY_LADDER,
     ParallelReductionStep,
     ReductionStep,
     VectorizedReductionStep,
     select_blocks_to_reduce,
+    select_reduction_levels,
+    validate_quality_ladder,
 )
 from repro.core.rendering_step import RenderingStep
 from repro.core.scoring_step import ScoringStep
@@ -249,6 +252,120 @@ class TestReductionBackends:
     def test_max_workers_validated(self, platform):
         with pytest.raises(ValueError):
             ParallelReductionStep(platform, max_workers=0)
+
+
+class TestQualityLadder:
+    """The multi-rung quality ladder: validation, selection, step behavior."""
+
+    def test_validate_normalises(self):
+        assert validate_quality_ladder([(2, 1.0)]) == ((2, 1.0),)
+        assert validate_quality_ladder([[1, 0.5], [2, 0.5]]) == ((1, 0.5), (2, 0.5))
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            [],                       # no rungs
+            [(0, 1.0)],               # level 0 is not a reduction
+            [(3, 1.0)],               # unknown level
+            [(2, 0.5), (2, 0.5)],     # repeated level
+            [(2, 0.0)],               # zero fraction
+            [(1, 0.4), (2, 0.4)],     # fractions don't sum to 1
+            [(2, 1.0, 3.0)],          # malformed rung
+        ],
+    )
+    def test_validate_rejects(self, bad):
+        with pytest.raises(ValueError):
+            validate_quality_ladder(bad)
+
+    def test_default_ladder_matches_binary_selection(self):
+        pairs = [(i, float(i)) for i in range(10)]
+        for percent in (0.0, 5.0, 35.0, 50.0, 100.0):
+            levels = select_reduction_levels(pairs, percent, DEFAULT_QUALITY_LADDER)
+            assert set(levels) == select_blocks_to_reduce(pairs, percent)
+            assert all(level == 2 for level in levels.values())
+
+    def test_rungs_applied_over_ascending_prefix(self):
+        """The lowest scores take the first rung; the last absorbs remainder."""
+        pairs = [(i, float(i)) for i in range(10)]
+        levels = select_reduction_levels(pairs, 100.0, ((2, 0.5), (1, 0.5)))
+        assert {i for i, l in levels.items() if l == 2} == {0, 1, 2, 3, 4}
+        assert {i for i, l in levels.items() if l == 1} == {5, 6, 7, 8, 9}
+        # Odd selection count: the last rung takes the rounding remainder.
+        levels = select_reduction_levels(pairs, 50.0, ((2, 0.5), (1, 0.5)))
+        assert sorted(levels) == [0, 1, 2, 3, 4]
+        assert [levels[i] for i in range(5)] == [2, 2, 2, 1, 1]
+
+    def _pairs(self, per_rank_blocks):
+        return sorted(
+            [
+                (b.block_id, float(b.block_id % 5))
+                for blocks in per_rank_blocks
+                for b in blocks
+            ],
+            key=lambda p: (p[1], p[0]),
+        )
+
+    def test_ladder_backends_bitwise_identical(self, per_rank_blocks, platform):
+        ladder = ((2, 0.5), (1, 0.5))
+        pairs = self._pairs(per_rank_blocks)
+        serial = ReductionStep(platform, quality_ladder=ladder)
+        s_out, s_ids, s_info = serial.run(per_rank_blocks, pairs, 60.0)
+        for step in (
+            VectorizedReductionStep(platform, quality_ladder=ladder),
+            ParallelReductionStep(platform, max_workers=3, quality_ladder=ladder),
+        ):
+            out, ids, info = step.run(per_rank_blocks, pairs, 60.0)
+            assert ids == s_ids
+            assert info["reduction_levels"] == s_info["reduction_levels"]
+            assert info["modelled_per_rank"] == s_info["modelled_per_rank"]
+            assert info["points_copied"] == s_info["points_copied"]
+            for s_blocks, blocks in zip(s_out, out):
+                for s_blk, blk in zip(s_blocks, blocks):
+                    assert blk.level == s_blk.level
+                    np.testing.assert_array_equal(blk.data, s_blk.data)
+
+    def test_ladder_produces_mixed_levels(self, per_rank_blocks, platform):
+        ladder = ((2, 0.5), (1, 0.5))
+        pairs = self._pairs(per_rank_blocks)
+        step = ReductionStep(platform, quality_ladder=ladder)
+        out, reduced_ids, info = step.run(per_rank_blocks, pairs, 100.0)
+        by_level = {}
+        for blocks in out:
+            for blk in blocks:
+                by_level.setdefault(blk.level, []).append(blk)
+        assert set(by_level) == {1, 2}
+        from repro.grid.block import level_shape
+
+        for blk in by_level[1]:
+            assert blk.data.shape == level_shape(1, blk.extent.shape)
+        # Level-1 blocks copy more points than corner blocks, and the cost
+        # model prices that: the mixed ladder costs more than all-corners.
+        all_corners = ReductionStep(platform)
+        _, _, corner_info = all_corners.run(per_rank_blocks, pairs, 100.0)
+        assert info["points_copied"] > corner_info["points_copied"]
+        assert max(info["modelled_per_rank"]) > max(corner_info["modelled_per_rank"])
+
+    def test_execute_records_levels_in_context(self, per_rank_blocks, platform):
+        from repro.core.step import IterationContext
+
+        pairs = self._pairs(per_rank_blocks)
+        context = IterationContext(
+            iteration=0,
+            percent=50.0,
+            nranks=len(per_rank_blocks),
+            per_rank_blocks=[list(b) for b in per_rank_blocks],
+            sorted_pairs=pairs,
+        )
+        step = ReductionStep(platform, quality_ladder=((2, 0.5), (1, 0.5)))
+        report = step.execute(context)
+        assert context.reduction_levels is not None
+        assert set(context.reduction_levels) == context.reduced_ids
+        assert report.counters["nreduced"] == len(context.reduced_ids)
+        assert report.counters["points_copied"] > 0
+
+    def test_invalid_ladder_rejected_at_step_construction(self, platform):
+        with pytest.raises(ValueError):
+            ReductionStep(platform, quality_ladder=((3, 1.0),))
 
 
 class TestRedistribution:

@@ -6,15 +6,23 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.grid.block import Block, BlockExtent
+from repro.grid.block import (
+    Block,
+    BlockExtent,
+    REDUCTION_LEVELS,
+    axis_sample_indices,
+    level_shape,
+)
 from repro.grid.decomposition import CartesianDecomposition, factorize_ranks, split_axis
 from repro.grid.domain import Domain
 from repro.grid.rectilinear import RectilinearGrid, stretched_axis, uniform_axis
 from repro.grid.reduction import (
     expand_from_corners,
+    expand_from_level,
     reconstruct_block,
     reduce_block,
     reduce_to_corners,
+    reduce_to_level,
     reduction_error,
     trilinear_sample,
 )
@@ -231,6 +239,22 @@ class TestCartesianDecomposition:
         with pytest.raises(ValueError):
             CartesianDecomposition((20, 20, 10), nranks=4, rank_dims_override=(2, 1, 1))
 
+    def test_rank_dims_override_wrong_arity_rejected(self):
+        """A 2-tuple override must fail on its length, not on its product.
+
+        Regression for the Optional annotation fix: the tuple's arity is
+        validated before any product comparison, and a non-iterable override
+        raises ValueError (not TypeError) with a clear message.
+        """
+        with pytest.raises(ValueError, match="rank_dims_override"):
+            CartesianDecomposition((20, 20, 10), nranks=4, rank_dims_override=(2, 2))
+        with pytest.raises(ValueError, match="3-tuple"):
+            CartesianDecomposition((20, 20, 10), nranks=4, rank_dims_override=4)
+        with pytest.raises(ValueError, match="rank_dims_override"):
+            CartesianDecomposition(
+                (20, 20, 10), nranks=4, rank_dims_override=(2, 2, 1, 1)
+            )
+
     def test_too_many_parts_rejected(self):
         with pytest.raises(ValueError):
             CartesianDecomposition((4, 4, 2), nranks=64)
@@ -355,3 +379,136 @@ class TestReduction:
     def test_reduce_to_corners_always_2x2x2_property(self, nx, ny, nz):
         data = np.zeros((nx, ny, nz))
         assert reduce_to_corners(data).shape == (2, 2, 2)
+
+
+class TestReductionLadder:
+    """The multi-level (mipmap) reduction ladder: levels 0, 1, 2."""
+
+    def test_axis_sample_indices_small(self):
+        assert axis_sample_indices(1) == (0,)
+        assert axis_sample_indices(2) == (0, 1)
+        assert axis_sample_indices(3) == (0, 2)
+        assert axis_sample_indices(4) == (0, 2, 3)
+        assert axis_sample_indices(5) == (0, 2, 4)
+        with pytest.raises(ValueError):
+            axis_sample_indices(0)
+
+    @settings(deadline=None, max_examples=30)
+    @given(n=st.integers(min_value=1, max_value=64))
+    def test_axis_sample_indices_edges_property(self, n):
+        """Both edge points of every axis are always retained."""
+        samples = axis_sample_indices(n)
+        assert samples[0] == 0 and samples[-1] == n - 1
+        assert list(samples) == sorted(set(samples))
+
+    def test_level_shape(self):
+        assert level_shape(0, (6, 5, 4)) == (6, 5, 4)
+        assert level_shape(1, (6, 5, 4)) == (4, 3, 3)
+        assert level_shape(2, (6, 5, 4)) == (2, 2, 2)
+        with pytest.raises(ValueError):
+            level_shape(3, (6, 5, 4))
+
+    def test_level2_is_exactly_corners(self):
+        data = np.random.default_rng(3).normal(size=(6, 5, 4))
+        np.testing.assert_array_equal(reduce_to_level(data, 2), reduce_to_corners(data))
+        np.testing.assert_array_equal(reduce_to_level(data, 0), data)
+
+    def test_level1_preserves_corners_bitwise(self):
+        """Corner rung of a level-1 payload equals corners of the full block.
+
+        This is the deepening guarantee: a level-1 block can later be reduced
+        to level 2 with no additional error versus reducing the full block.
+        """
+        data = np.random.default_rng(4).normal(size=(11, 11, 12))
+        level1 = reduce_to_level(data, 1)
+        np.testing.assert_array_equal(reduce_to_corners(level1), reduce_to_corners(data))
+
+    def test_level1_payload_fraction_below_quarter(self):
+        for shape in [(11, 11, 12), (44, 44, 12), (55, 55, 38)]:
+            level1 = level_shape(1, shape)
+            fraction = np.prod(level1) / np.prod(shape)
+            assert fraction <= 0.25, (shape, fraction)
+
+    def test_level1_expand_exact_at_sample_points(self):
+        data = np.random.default_rng(5).normal(size=(7, 6, 5))
+        rebuilt = expand_from_level(reduce_to_level(data, 1), 1, data.shape)
+        ix, iy, iz = (axis_sample_indices(n) for n in data.shape)
+        sampled = data[np.ix_(ix, iy, iz)]
+        np.testing.assert_array_equal(rebuilt[np.ix_(ix, iy, iz)], sampled)
+
+    def test_level1_expand_exact_for_linear_field(self):
+        x = np.linspace(0, 1, 7)
+        y = np.linspace(0, 1, 6)
+        z = np.linspace(0, 1, 5)
+        xx, yy, zz = np.meshgrid(x, y, z, indexing="ij")
+        data = 2.0 * xx - 3.0 * yy + 0.5 * zz + 1.0
+        rebuilt = expand_from_level(reduce_to_level(data, 1), 1, data.shape)
+        np.testing.assert_allclose(rebuilt, data, atol=1e-12)
+
+    def test_level1_error_never_exceeds_level2(self):
+        x = np.linspace(0, 2 * np.pi, 9)
+        xx, yy, zz = np.meshgrid(x, x, x, indexing="ij")
+        data = np.sin(xx) * np.cos(yy) + 0.2 * zz
+        assert reduction_error(data, level=1) <= reduction_error(data, level=2)
+        assert reduction_error(data, level=0) == 0.0
+
+    @pytest.mark.parametrize("level", [0, 1, 2])
+    @pytest.mark.parametrize("shape", [(1, 5, 4), (5, 1, 4), (5, 4, 1), (1, 1, 1)])
+    def test_degenerate_axis_roundtrip_exact(self, level, shape):
+        """A length-1 axis must round-trip exactly at every ladder level.
+
+        Along a degenerate axis there is nothing to interpolate — the single
+        plane is both edges at once — so reduce→expand must reproduce the
+        original values bitwise on the retained sample grid, and the expanded
+        array must be constant along the degenerate axis.
+        """
+        data = np.random.default_rng(6).normal(size=shape)
+        payload = reduce_to_level(data, level)
+        assert payload.shape == level_shape(level, shape)
+        rebuilt = expand_from_level(payload, level, shape)
+        ix, iy, iz = (axis_sample_indices(n) for n in shape) if level == 1 else (
+            (0, shape[0] - 1),
+            (0, shape[1] - 1),
+            (0, shape[2] - 1),
+        )
+        if level == 0:
+            np.testing.assert_array_equal(rebuilt, data)
+        else:
+            np.testing.assert_array_equal(
+                rebuilt[np.ix_(ix, iy, iz)], data[np.ix_(ix, iy, iz)]
+            )
+
+    def test_block_level_field_and_deepening(self):
+        ext = BlockExtent((0, 0, 0), (6, 6, 4))
+        data = np.random.default_rng(7).normal(size=(6, 6, 4))
+        blk = Block(0, ext, data)
+        assert blk.level == 0 and not blk.reduced
+        lvl1 = reduce_block(blk, level=1)
+        assert lvl1.level == 1 and lvl1.reduced
+        assert lvl1.data.shape == level_shape(1, (6, 6, 4))
+        # Deepening 1 -> 2 is bitwise identical to reducing the full block.
+        lvl2_via_1 = reduce_block(lvl1, level=2)
+        lvl2_direct = reduce_block(blk, level=2)
+        np.testing.assert_array_equal(lvl2_via_1.data, lvl2_direct.data)
+        # Reducing to a level the block already meets is a no-op.
+        assert reduce_block(lvl2_via_1, level=1) is lvl2_via_1
+        rebuilt = reconstruct_block(lvl1)
+        assert rebuilt.shape == (6, 6, 4)
+
+    def test_block_level_validation(self):
+        ext = BlockExtent((0, 0, 0), (6, 6, 4))
+        data = np.zeros((6, 6, 4))
+        # Legacy constructor: reduced=True without a level means level 2.
+        legacy = Block(0, ext, np.zeros((2, 2, 2)), reduced=True)
+        assert legacy.level == 2
+        with pytest.raises(ValueError):
+            Block(0, ext, data, level=3)
+        # Inconsistent (level, reduced) combinations are rejected.
+        with pytest.raises(ValueError):
+            Block(0, ext, data, reduced=True, level=0)
+        with pytest.raises(ValueError):
+            Block(0, ext, np.zeros((2, 2, 2)), reduced=False, level=2)
+        # Payload shape must match the declared level.
+        with pytest.raises(ValueError):
+            Block(0, ext, np.zeros((2, 2, 2)), level=1)
+        assert REDUCTION_LEVELS == (0, 1, 2)

@@ -94,6 +94,84 @@ class TestBlockBatchProperties:
             BlockBatch.from_blocks(blocks)
 
 
+class TestBatchReductionLadder:
+    """Batched ladder kernels and level metadata through BlockBatch."""
+
+    def test_levels_round_trip(self):
+        from repro.grid.reduction import reduce_block
+
+        # A full 3x3x3 block and the level-1 payload of a 4x4x4 block share
+        # the payload shape (3, 3, 3), so they stack into one batch.
+        full = make_block(0, shape=(3, 3, 3), dtype=np.float64)
+        lvl1 = reduce_block(make_block(1, shape=(4, 4, 4), offset=4, dtype=np.float64), level=1)
+        rebuilt = BlockBatch.from_blocks([full, lvl1]).to_blocks()
+        assert [b.level for b in rebuilt] == [0, 1]
+        assert [b.reduced for b in rebuilt] == [False, True]
+        np.testing.assert_array_equal(rebuilt[1].data, lvl1.data)
+
+    def test_mixed_levels_in_one_shape_group(self):
+        """Blocks of different ladder levels can share one batch group.
+
+        A level-2 payload is always 2x2x2, and a level-1 payload of a 3x3x3
+        block is *also* 2x2x2 — the batch groups by payload shape, so both
+        land in the same group and the ``levels`` array must keep them apart.
+        """
+        from repro.grid.reduction import reduce_block
+
+        lvl2 = reduce_block(make_block(0, shape=(4, 4, 4), dtype=np.float64), level=2)
+        lvl1 = reduce_block(make_block(1, shape=(3, 3, 3), offset=4, dtype=np.float64), level=1)
+        assert lvl2.data.shape == lvl1.data.shape == (2, 2, 2)
+        batch = BlockBatch.from_blocks([lvl2, lvl1])
+        assert list(batch.levels) == [2, 1]
+        rebuilt = batch.to_blocks()
+        assert [b.level for b in rebuilt] == [2, 1]
+        assert all(b.reduced for b in rebuilt)
+
+    @pytest.mark.parametrize("level", [0, 1, 2])
+    def test_batched_reduce_matches_scalar(self, level):
+        from repro.grid.reduction import reduce_to_level, reduce_to_level_batch
+
+        rng = np.random.default_rng(11)
+        stack = rng.normal(size=(5, 6, 5, 4))
+        batched = reduce_to_level_batch(stack, level)
+        for i in range(stack.shape[0]):
+            np.testing.assert_array_equal(batched[i], reduce_to_level(stack[i], level))
+
+    @pytest.mark.parametrize("level", [0, 1, 2])
+    def test_batched_expand_matches_scalar(self, level):
+        from repro.grid.reduction import (
+            expand_from_level,
+            expand_from_level_batch,
+            reduce_to_level_batch,
+        )
+
+        rng = np.random.default_rng(12)
+        shape = (6, 5, 4)
+        stack = rng.normal(size=(4,) + shape)
+        payload = reduce_to_level_batch(stack, level)
+        batched = expand_from_level_batch(payload, level, shape)
+        for i in range(stack.shape[0]):
+            np.testing.assert_array_equal(
+                batched[i], expand_from_level(payload[i], level, shape)
+            )
+
+    @pytest.mark.parametrize("shape", [(1, 4, 3), (4, 1, 3), (1, 1, 1)])
+    def test_batched_degenerate_axis_roundtrip(self, shape):
+        """Length-1 axes survive the batched level-1 round-trip exactly."""
+        from repro.grid.block import axis_sample_indices
+        from repro.grid.reduction import expand_from_level_batch, reduce_to_level_batch
+
+        rng = np.random.default_rng(13)
+        stack = rng.normal(size=(3,) + shape)
+        payload = reduce_to_level_batch(stack, 1)
+        rebuilt = expand_from_level_batch(payload, 1, shape)
+        ix, iy, iz = (np.asarray(axis_sample_indices(n)) for n in shape)
+        np.testing.assert_array_equal(
+            rebuilt[:, ix[:, None, None], iy[None, :, None], iz[None, None, :]],
+            stack[:, ix[:, None, None], iy[None, :, None], iz[None, None, :]],
+        )
+
+
 class TestPartitionByShape:
     def test_groups_cover_all_positions(self):
         blocks = [

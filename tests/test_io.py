@@ -332,6 +332,32 @@ class TestCornerBlockReplay:
                 expand_from_corners(np.asarray(original, dtype=np.float64), (8, 8, 6)),
             )
 
+    @pytest.mark.parametrize("layout", ["npz", "raw"])
+    def test_level1_payload_roundtrip_both_layouts(self, tmp_path, layout):
+        """Intermediate (level-1) reduction payloads persist bit-exactly.
+
+        The mipmap ladder's middle rung produces odd shapes like 4x4x3; both
+        store layouts must round-trip them and reconstruct identically
+        through the level-1 expansion.
+        """
+        from repro.grid.reduction import expand_from_level, reduce_to_level
+
+        rng = np.random.default_rng(9)
+        full_shape = (7, 6, 5)
+        full = rng.normal(size=full_shape)
+        payload = reduce_to_level(full, 1)
+        grid = RectilinearGrid.uniform(payload.shape)
+        store = DatasetStore(tmp_path / "ds")
+        store.create(grid, layout=layout)
+        store.append(Domain(grid=grid, fields={"lvl1": payload}, iteration=0))
+        loaded = store.load_iteration(0, mmap=(layout == "raw"))
+        replayed = loaded.get_field("lvl1")
+        np.testing.assert_array_equal(replayed, payload)
+        np.testing.assert_array_equal(
+            expand_from_level(np.asarray(replayed, dtype=np.float64), 1, full_shape),
+            expand_from_level(payload, 1, full_shape),
+        )
+
 
 class TestReplay:
     def test_equally_spaced_selection(self):

@@ -188,10 +188,15 @@ class TestStormFamilies:
         assert late < 0.6 * early
 
 
-def _iteration_observables(scenario: ExperimentScenario, backend: str):
+def _iteration_observables(
+    scenario: ExperimentScenario, backend: str, quality_ladder=None
+):
     """Decision-bearing outputs of one 50%-reduction iteration."""
     pipeline = scenario.build_pipeline(
-        metric="VAR", redistribution="round_robin", engine=backend
+        metric="VAR",
+        redistribution="round_robin",
+        engine=backend,
+        quality_ladder=quality_ladder,
     )
     context = pipeline.engine.run_iteration(
         scenario.blocks_for(0), percent=50.0, iteration=0
@@ -277,6 +282,33 @@ class TestRegistryParitySweep:
         assert len(sequential) == len(scenario.iteration_blocks())
         assert overlapped == sequential
 
+    def test_quality_ladder_backend_parity(self, name):
+        """With a non-trivial mipmap ladder (half the selection to level 2,
+        half to level 1) every backend must still agree bitwise on every
+        decision-bearing output — including the new points_copied counter
+        and the level-dependent payload bytes."""
+        ladder = ((2, 0.5), (1, 0.5))
+        scenario = tiny_scenario(name)
+        ref = _iteration_observables(scenario, "serial", quality_ladder=ladder)
+        ref_pairs, ref_sorted, ref_owners, ref_reports = ref
+        assert ref_reports["reduction"][2]["points_copied"] > 0
+        for backend in BACKENDS[1:]:
+            pairs, sorted_pairs, owners, reports = _iteration_observables(
+                scenario, backend, quality_ladder=ladder
+            )
+            assert pairs == ref_pairs, backend
+            assert sorted_pairs == ref_sorted, backend
+            assert owners == ref_owners, backend
+            for step, expected in ref_reports.items():
+                assert reports[step] == expected, (backend, step)
+        # The ladder must actually change the workload versus all-corners:
+        # level-1 blocks ship more bytes through redistribution.
+        corners = _iteration_observables(scenario, "serial")
+        assert (
+            ref_reports["reduction"][2]["points_copied"]
+            > corners[3]["reduction"][2]["points_copied"]
+        )
+
 
 class TestDeterminism:
     @pytest.mark.parametrize("name", ["multicell_cluster", "squall_line"])
@@ -354,6 +386,28 @@ class TestScalingVariants:
         pipeline = scenario.build_pipeline(metric="VAR")
         result, _ = pipeline.process_iteration(scenario.blocks_for(0))
         assert result.nblocks == scenario.nblocks
+
+    def test_weak_scaling_rounds_half_up_at_5_boundary(self):
+        """Regression: weak-scaling extents exactly on .5 must round up.
+
+        With base shape 15 at 4 ranks, the 9-rank variant scales by
+        sqrt(9/4) = 1.5 exactly, landing 15 * 1.5 = 22.5 on a .5 boundary.
+        Banker's round() returns 22 (nearest even), silently shrinking the
+        per-rank load; half-up rounding must give 23.
+        """
+        register_scenario(
+            "pytest_weak_boundary",
+            lambda **o: ScenarioConfig(
+                ncores=4, shape=(15, 15, 12), blocks_per_subdomain=(1, 1, 1), **o
+            ),
+            description="weak-scaling .5-boundary fixture",
+        )
+        try:
+            variant = scaling_variants("pytest_weak_boundary", ranks=(9,), mode="weak")[0]
+            assert round(22.5) == 22  # the trap this test guards against
+            assert variant.shape == (23, 23, 12)
+        finally:
+            _REGISTRY.pop("pytest_weak_boundary", None)
 
     def test_strong_scaling_refuses_infeasible_rank_counts(self):
         # tiny's 44-point axes cannot host 1024 ranks' block columns; a

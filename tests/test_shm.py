@@ -170,6 +170,19 @@ class TestSharedBlockBatchLifecycle:
             with pytest.raises(SharedBatchError, match="no block metadata"):
                 shared.batch
 
+    def test_from_blocks_carries_reduction_levels(self):
+        """Level-1 payloads ship through shm with their ladder level intact."""
+        from repro.grid.reduction import reduce_block
+
+        blocks = [reduce_block(b, level=1) for b in _blocks(shape=(5, 4, 4))]
+        with SharedBlockBatch.from_blocks(blocks) as shared:
+            batch = shared.batch
+            assert list(batch.levels) == [1] * len(blocks)
+            rebuilt = batch.to_blocks()
+            for original, copy in zip(blocks, rebuilt):
+                assert copy.level == 1 and copy.reduced
+                np.testing.assert_array_equal(copy.data, original.data)
+
 
 class TestLeakAccounting:
     def test_live_owned_segments_tracks_lifecycle(self):
